@@ -1,0 +1,11 @@
+"""Table I, CIFAR-10 / DenseNet cell group (paper rows: DenseNet × {ITD, UTD, SD})."""
+
+import pytest
+
+from .conftest import run_table1_cell
+
+
+@pytest.mark.benchmark(group="table1-densenet")
+@pytest.mark.parametrize("defect", ["itd", "utd", "sd"])
+def test_table1_densenet(benchmark, defect):
+    run_table1_cell(benchmark, "densenet", defect)

@@ -1,0 +1,11 @@
+"""Table I, CIFAR-10 / ResNet cell group (paper rows: ResNet × {ITD, UTD, SD})."""
+
+import pytest
+
+from .conftest import run_table1_cell
+
+
+@pytest.mark.benchmark(group="table1-resnet")
+@pytest.mark.parametrize("defect", ["itd", "utd", "sd"])
+def test_table1_resnet(benchmark, defect):
+    run_table1_cell(benchmark, "resnet", defect)

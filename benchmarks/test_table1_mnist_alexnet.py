@@ -1,0 +1,11 @@
+"""Table I, MNIST / AlexNet cell group (paper rows: AlexNet × {ITD, UTD, SD})."""
+
+import pytest
+
+from .conftest import run_table1_cell
+
+
+@pytest.mark.benchmark(group="table1-alexnet")
+@pytest.mark.parametrize("defect", ["itd", "utd", "sd"])
+def test_table1_alexnet(benchmark, defect):
+    run_table1_cell(benchmark, "alexnet", defect)

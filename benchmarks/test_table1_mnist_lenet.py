@@ -1,0 +1,11 @@
+"""Table I, MNIST / LeNet cell group (paper rows: LeNet × {ITD, UTD, SD})."""
+
+import pytest
+
+from .conftest import run_table1_cell
+
+
+@pytest.mark.benchmark(group="table1-lenet")
+@pytest.mark.parametrize("defect", ["itd", "utd", "sd"])
+def test_table1_lenet(benchmark, defect):
+    run_table1_cell(benchmark, "lenet", defect)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Scenario: a production distribution the training set under-covers (ITD).
+
+This mirrors the paper's motivating situation for *insufficient training
+data*: some classes are badly under-represented at training time, the model
+looks fine on its own training set, but production inputs from those classes
+are misclassified.  The script shows how DeepMorph attributes the faulty
+cases to ITD, and how the diagnosis changes once the developer fixes the
+training set.
+
+    python examples/diagnose_insufficient_data.py
+"""
+
+import numpy as np
+
+from repro import DeepMorph, find_faulty_cases
+from repro.data import SyntheticMNIST, class_counts
+from repro.defects import InsufficientTrainingData
+from repro.models import LeNet
+from repro.optim import Adam
+from repro.training import Trainer, evaluate
+
+
+def train_and_diagnose(train_data, production_data, tag: str):
+    """Train a fresh LeNet on ``train_data`` and diagnose its production errors."""
+    model = LeNet(input_shape=(1, 14, 14), num_classes=10, rng=7)
+    Trainer(model, Adam(model.parameters(), lr=0.01), rng=2).fit(
+        train_data, epochs=14, batch_size=32
+    )
+    _, accuracy = evaluate(model, production_data)
+    faulty_inputs, faulty_labels, _ = find_faulty_cases(model, production_data)
+
+    print(f"[{tag}] production accuracy {accuracy:.3f}, faulty cases {len(faulty_labels)}")
+    if len(faulty_labels) == 0:
+        print(f"[{tag}] nothing to diagnose")
+        return None
+
+    morph = DeepMorph(rng=3)
+    morph.fit(model, train_data)
+    report = morph.diagnose(faulty_inputs, faulty_labels)
+    print(f"[{tag}] {report.format_row()}  ->  dominant: {report.dominant_defect.value.upper()}")
+    return report
+
+
+def main() -> None:
+    generator = SyntheticMNIST()
+    full_train, production = generator.splits(n_train_per_class=80, n_test_per_class=40, rng=0)
+
+    # The defective training set: three classes keep only 8 % of their data.
+    injector = InsufficientTrainingData(affected_classes=[1, 4, 7], keep_fraction=0.08)
+    starved_train, injection = injector.apply(full_train, rng=1)
+
+    print(f"injected defect : {injection.description}")
+    print(f"per-class training counts after injection: {class_counts(starved_train).tolist()}")
+    print()
+
+    report = train_and_diagnose(starved_train, production, tag="starved training set")
+
+    if report is not None and report.dominant_defect.value == "itd":
+        print("\nDeepMorph attributes the bad performance to insufficient training data.")
+        print("Following that advice, the developer collects the missing data and retrains:")
+        print()
+        train_and_diagnose(full_train, production, tag="repaired training set")
+
+
+if __name__ == "__main__":
+    main()

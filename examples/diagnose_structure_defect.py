@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Scenario: an architecture too weak for the task (SD).
+
+The paper's third defect type is the *structure defect*: the network design
+itself cannot extract the features the task needs (here, convolution stages
+were removed and the surviving layers narrowed).  The script diagnoses a
+degraded ResNet on the synthetic CIFAR stand-in, shows the layer-wise probe
+accuracy profile that betrays the weak features, and then compares against
+the intact architecture.
+
+    python examples/diagnose_structure_defect.py
+"""
+
+import numpy as np
+
+from repro import DeepMorph, find_faulty_cases
+from repro.data import SyntheticCIFAR
+from repro.defects import StructureDefect
+from repro.models import ResNet
+from repro.optim import Adam
+from repro.training import Trainer, evaluate
+
+
+def diagnose(model, train_data, production_data, tag: str):
+    """Train ``model`` and run the DeepMorph diagnosis on its production errors."""
+    Trainer(model, Adam(model.parameters(), lr=0.01), rng=2).fit(
+        train_data, epochs=12, batch_size=32
+    )
+    _, accuracy = evaluate(model, production_data)
+    faulty_inputs, faulty_labels, _ = find_faulty_cases(model, production_data)
+    print(f"[{tag}] production accuracy {accuracy:.3f}, faulty cases {len(faulty_labels)}")
+    if len(faulty_labels) == 0:
+        return
+
+    morph = DeepMorph(rng=3)
+    morph.fit(model, train_data)
+    report = morph.diagnose(faulty_inputs, faulty_labels)
+    print(f"[{tag}] {report.format_row()}  ->  dominant: {report.dominant_defect.value.upper()}")
+    print(f"[{tag}] layer-wise probe validation accuracy:")
+    for layer, acc in morph.instrumented.probe_validation_accuracies().items():
+        print(f"    {layer:14s} {acc:.3f}")
+    print()
+
+
+def main() -> None:
+    generator = SyntheticCIFAR()
+    train_data, production = generator.splits(n_train_per_class=60, n_test_per_class=30, rng=0)
+
+    healthy = ResNet(input_shape=generator.input_shape, num_classes=10,
+                     base_channels=12, block_counts=(2, 2, 2), rng=7)
+
+    injector = StructureDefect(keep_fraction=0.3, narrow_factor=0.4)
+    degraded, injection = injector.apply(healthy, rng=7)
+    print(f"injected defect : {injection.description}")
+    print("removed units   :")
+    for item in injection.removed_units:
+        print(f"  - {item}")
+    print()
+
+    diagnose(degraded, train_data, production, tag="degraded architecture")
+    diagnose(
+        ResNet(input_shape=generator.input_shape, num_classes=10,
+               base_channels=12, block_counts=(2, 2, 2), rng=7),
+        train_data, production, tag="intact architecture",
+    )
+
+
+if __name__ == "__main__":
+    main()

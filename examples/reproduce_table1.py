@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Reproduce (a scaled version of) the paper's Table I from the public API.
+
+Runs the full defect-injection grid — LeNet and AlexNet on the synthetic
+MNIST stand-in, ResNet and DenseNet on the synthetic CIFAR stand-in, each with
+ITD, UTD, and SD injected — and prints the ratios next to the values the paper
+reports.  With the ``quick`` preset this takes several minutes on a laptop
+CPU; pass ``--models lenet`` to run a single model family.
+
+    python examples/reproduce_table1.py --models lenet alexnet
+"""
+
+import argparse
+
+from repro.experiments import format_table1, preset, run_table1
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=["lenet", "alexnet", "resnet", "densenet"],
+        help="model families to include",
+    )
+    parser.add_argument(
+        "--preset",
+        default="quick",
+        choices=["default", "quick", "smoke", "paper"],
+        help="experiment preset (quick keeps the runtime reasonable)",
+    )
+    args = parser.parse_args()
+
+    settings = preset(args.preset)
+    result = run_table1(models=args.models, settings=settings, progress=print)
+    print()
+    print(format_table1(result))
+
+
+if __name__ == "__main__":
+    main()

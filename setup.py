@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so the package can also be installed in environments whose tooling predates
+PEP 660 editable installs (no ``wheel`` package available), via
+``pip install -e . --no-build-isolation`` or ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

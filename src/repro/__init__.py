@@ -1,0 +1,97 @@
+"""repro — a reproduction of "Detecting Deep Neural Network Defects with Data Flow Analysis".
+
+The package is organized as:
+
+* :mod:`repro.nn`, :mod:`repro.optim`, :mod:`repro.training` — a from-scratch
+  numpy deep-learning substrate (layers, optimizers, training loop).
+* :mod:`repro.data` — dataset abstractions and synthetic MNIST/CIFAR stand-ins.
+* :mod:`repro.models` — the four architecture families of the paper's
+  evaluation (LeNet, AlexNet, ResNet, DenseNet).
+* :mod:`repro.defects` — injection of the three studied defect types
+  (insufficient training data, unreliable training data, structure defects).
+* :mod:`repro.core` — DeepMorph itself: softmax instrumentation, data-flow
+  footprints, class execution patterns, and defect reasoning.
+* :mod:`repro.analysis` — divergences and trajectory statistics.
+* :mod:`repro.serialize` — persistence of models, footprints, and reports.
+* :mod:`repro.experiments` — the Table I reproduction harness.
+* :mod:`repro.cli` — command-line entry points.
+"""
+
+from . import analysis, data, defects, models, nn, optim, training
+from .core import (
+    DeepMorph,
+    DefectCaseClassifier,
+    DefectClassifierConfig,
+    DefectReport,
+    Footprint,
+    FootprintExtractor,
+    FootprintSpecifics,
+    PatternLibrary,
+    SoftmaxInstrumentedModel,
+    SoftmaxProbe,
+    compute_specifics,
+    find_faulty_cases,
+)
+from .defects import (
+    DefectType,
+    InsufficientTrainingData,
+    StructureDefect,
+    UnreliableTrainingData,
+    build_defect,
+)
+from .exceptions import (
+    ConfigurationError,
+    DatasetError,
+    DefectInjectionError,
+    ExperimentError,
+    NotFittedError,
+    ReproError,
+    SerializationError,
+    ShapeError,
+)
+from .rng import ensure_rng, seed_everything
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # subpackages
+    "nn",
+    "optim",
+    "training",
+    "data",
+    "models",
+    "defects",
+    "analysis",
+    # DeepMorph core
+    "DeepMorph",
+    "find_faulty_cases",
+    "SoftmaxProbe",
+    "SoftmaxInstrumentedModel",
+    "Footprint",
+    "FootprintExtractor",
+    "PatternLibrary",
+    "FootprintSpecifics",
+    "compute_specifics",
+    "DefectClassifierConfig",
+    "DefectCaseClassifier",
+    "DefectReport",
+    # defects
+    "DefectType",
+    "InsufficientTrainingData",
+    "UnreliableTrainingData",
+    "StructureDefect",
+    "build_defect",
+    # exceptions
+    "ReproError",
+    "ShapeError",
+    "ConfigurationError",
+    "NotFittedError",
+    "DatasetError",
+    "DefectInjectionError",
+    "SerializationError",
+    "ExperimentError",
+    # rng
+    "ensure_rng",
+    "seed_everything",
+]

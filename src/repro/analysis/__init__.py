@@ -1,0 +1,48 @@
+"""Analysis utilities: divergences, trajectory statistics, calibration."""
+
+from .calibration import ReliabilityBin, brier_score, expected_calibration_error, reliability_diagram
+from .divergence import (
+    cosine_similarity,
+    entropy,
+    js_distance,
+    js_divergence,
+    js_similarity,
+    kl_divergence,
+    normalize_distribution,
+    normalized_entropy,
+    total_variation,
+)
+from .trajectory import (
+    check_trajectory,
+    commitment_depth,
+    confidence_trajectory,
+    divergence_layer,
+    entropy_profile,
+    layer_stability,
+    trajectory_divergence,
+    trajectory_similarity,
+)
+
+__all__ = [
+    "kl_divergence",
+    "js_divergence",
+    "js_distance",
+    "js_similarity",
+    "total_variation",
+    "cosine_similarity",
+    "entropy",
+    "normalized_entropy",
+    "normalize_distribution",
+    "check_trajectory",
+    "trajectory_similarity",
+    "trajectory_divergence",
+    "divergence_layer",
+    "commitment_depth",
+    "confidence_trajectory",
+    "entropy_profile",
+    "layer_stability",
+    "ReliabilityBin",
+    "expected_calibration_error",
+    "reliability_diagram",
+    "brier_score",
+]

@@ -1,0 +1,103 @@
+"""Distribution divergences and similarity measures.
+
+These are the numerical primitives DeepMorph uses to compare data-flow
+footprints against class execution patterns: probability-vector divergences
+(KL, Jensen-Shannon, total variation), entropies, and similarity scores
+derived from them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+__all__ = [
+    "kl_divergence",
+    "js_divergence",
+    "js_distance",
+    "js_similarity",
+    "total_variation",
+    "cosine_similarity",
+    "entropy",
+    "normalized_entropy",
+    "normalize_distribution",
+]
+
+_EPS = 1e-12
+
+
+def normalize_distribution(p: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Clip to non-negative values and renormalize so the axis sums to 1."""
+    p = np.clip(np.asarray(p, dtype=np.float64), 0.0, None)
+    total = p.sum(axis=axis, keepdims=True)
+    uniform = np.full_like(p, 1.0 / p.shape[axis])
+    # Vectors whose mass is zero (or so small that dividing by it would lose
+    # normalization to rounding) fall back to the uniform distribution.
+    with np.errstate(invalid="ignore", divide="ignore"):
+        normalized = np.where(total > _EPS, p / np.maximum(total, _EPS), uniform)
+    return normalized
+
+
+def _check_pair(p: np.ndarray, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ShapeError(f"distributions must have the same shape, got {p.shape} vs {q.shape}")
+    return normalize_distribution(p), normalize_distribution(q)
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Kullback–Leibler divergence ``KL(p || q)`` in nats along ``axis``."""
+    p, q = _check_pair(p, q)
+    ratio = np.log(np.maximum(p, _EPS)) - np.log(np.maximum(q, _EPS))
+    return np.where(p > 0, p * ratio, 0.0).sum(axis=axis)
+
+
+def js_divergence(p: np.ndarray, q: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Jensen–Shannon divergence (symmetric, bounded by ``log 2``)."""
+    p, q = _check_pair(p, q)
+    m = 0.5 * (p + q)
+    return 0.5 * kl_divergence(p, m, axis=axis) + 0.5 * kl_divergence(q, m, axis=axis)
+
+
+def js_distance(p: np.ndarray, q: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Jensen–Shannon distance: the square root of the JS divergence (a metric)."""
+    return np.sqrt(np.maximum(js_divergence(p, q, axis=axis), 0.0))
+
+
+def js_similarity(p: np.ndarray, q: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Similarity in ``[0, 1]``: 1 minus the JS divergence normalized by its maximum."""
+    return 1.0 - js_divergence(p, q, axis=axis) / np.log(2.0)
+
+
+def total_variation(p: np.ndarray, q: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Total-variation distance ``0.5 * sum |p - q|`` in ``[0, 1]``."""
+    p, q = _check_pair(p, q)
+    return 0.5 * np.abs(p - q).sum(axis=axis)
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Cosine similarity between (batches of) vectors."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ShapeError(f"vectors must have the same shape, got {a.shape} vs {b.shape}")
+    num = (a * b).sum(axis=axis)
+    denom = np.linalg.norm(a, axis=axis) * np.linalg.norm(b, axis=axis)
+    return np.where(denom > 0, num / np.maximum(denom, _EPS), 0.0)
+
+
+def entropy(p: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Shannon entropy in nats along ``axis``."""
+    p = normalize_distribution(p, axis=axis)
+    return -np.where(p > 0, p * np.log(np.maximum(p, _EPS)), 0.0).sum(axis=axis)
+
+
+def normalized_entropy(p: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Entropy divided by ``log(k)`` so the uniform distribution scores 1."""
+    p = np.asarray(p, dtype=np.float64)
+    k = p.shape[axis]
+    if k <= 1:
+        return np.zeros(p.sum(axis=axis).shape)
+    return entropy(p, axis=axis) / np.log(k)

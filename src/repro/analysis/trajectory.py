@@ -1,0 +1,191 @@
+"""Trajectory analysis of layer-wise probe distributions.
+
+A *trajectory* is the ``(num_layers, num_classes)`` matrix of probe output
+distributions a single input produces as it flows through the instrumented
+model — the quantitative form of the paper's "data flow footprint".  This
+module provides the statistics DeepMorph's footprint specifics are built from:
+where the belief diverges from the true class, how early it commits to the
+predicted class, how sharp it is layer by layer, and how similar two
+trajectories are.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from .divergence import js_divergence, js_similarity, normalized_entropy
+
+__all__ = [
+    "check_trajectory",
+    "trajectory_similarity",
+    "trajectory_divergence",
+    "trajectory_divergence_to_stack",
+    "pairwise_trajectory_divergences",
+    "divergence_layer",
+    "commitment_depth",
+    "confidence_trajectory",
+    "entropy_profile",
+    "layer_stability",
+]
+
+
+def check_trajectory(trajectory: np.ndarray) -> np.ndarray:
+    """Validate and return a trajectory as a float ``(L, C)`` array."""
+    trajectory = np.asarray(trajectory, dtype=np.float64)
+    if trajectory.ndim != 2:
+        raise ShapeError(
+            f"a trajectory must be 2-D (layers, classes), got shape {trajectory.shape}"
+        )
+    if trajectory.shape[0] == 0 or trajectory.shape[1] == 0:
+        raise ShapeError(f"a trajectory must be non-empty, got shape {trajectory.shape}")
+    return trajectory
+
+
+def _layer_weights(num_layers: int, emphasis: float) -> np.ndarray:
+    """Linearly increasing layer weights; ``emphasis=0`` is uniform.
+
+    Later layers carry more class-discriminative information, so comparisons
+    can optionally emphasize them.
+    """
+    if num_layers == 1:
+        return np.ones(1)
+    ramp = np.linspace(1.0 - emphasis, 1.0 + emphasis, num_layers)
+    return ramp / ramp.sum() * num_layers
+
+
+def trajectory_similarity(
+    a: np.ndarray, b: np.ndarray, late_layer_emphasis: float = 0.5
+) -> float:
+    """Mean per-layer JS similarity of two trajectories, in ``[0, 1]``."""
+    a, b = check_trajectory(a), check_trajectory(b)
+    if a.shape != b.shape:
+        raise ShapeError(f"trajectories must have the same shape, got {a.shape} vs {b.shape}")
+    sims = js_similarity(a, b, axis=1)
+    weights = _layer_weights(a.shape[0], late_layer_emphasis)
+    return float(np.average(sims, weights=weights))
+
+
+def trajectory_divergence(
+    a: np.ndarray, b: np.ndarray, late_layer_emphasis: float = 0.5
+) -> float:
+    """Mean per-layer JS divergence of two trajectories (in nats)."""
+    a, b = check_trajectory(a), check_trajectory(b)
+    if a.shape != b.shape:
+        raise ShapeError(f"trajectories must have the same shape, got {a.shape} vs {b.shape}")
+    divs = js_divergence(a, b, axis=1)
+    weights = _layer_weights(a.shape[0], late_layer_emphasis)
+    return float(np.average(divs, weights=weights))
+
+
+def trajectory_divergence_to_stack(
+    trajectory: np.ndarray, stack: np.ndarray, late_layer_emphasis: float = 0.5
+) -> np.ndarray:
+    """Layer-weighted JS divergence between one trajectory and a stack of them.
+
+    Parameters
+    ----------
+    trajectory:
+        ``(L, C)`` trajectory.
+    stack:
+        ``(M, L, C)`` stack of trajectories.
+
+    Returns
+    -------
+    ``(M,)`` divergences.  Vectorized equivalent of calling
+    :func:`trajectory_divergence` against each stack member.
+    """
+    trajectory = check_trajectory(trajectory)
+    stack = np.asarray(stack, dtype=np.float64)
+    if stack.ndim != 3 or stack.shape[1:] != trajectory.shape:
+        raise ShapeError(
+            f"stack must have shape (M, {trajectory.shape[0]}, {trajectory.shape[1]}), "
+            f"got {stack.shape}"
+        )
+    divs = js_divergence(stack, np.broadcast_to(trajectory, stack.shape), axis=2)
+    weights = _layer_weights(trajectory.shape[0], late_layer_emphasis)
+    return np.average(divs, axis=1, weights=weights)
+
+
+def pairwise_trajectory_divergences(
+    stack: np.ndarray, late_layer_emphasis: float = 0.5
+) -> np.ndarray:
+    """Symmetric ``(M, M)`` matrix of layer-weighted JS divergences within a stack."""
+    stack = np.asarray(stack, dtype=np.float64)
+    if stack.ndim != 3:
+        raise ShapeError(f"stack must be 3-D (members, layers, classes), got shape {stack.shape}")
+    m = stack.shape[0]
+    matrix = np.zeros((m, m), dtype=np.float64)
+    for i in range(m):
+        matrix[i] = trajectory_divergence_to_stack(
+            stack[i], stack, late_layer_emphasis=late_layer_emphasis
+        )
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+def divergence_layer(trajectory: np.ndarray, true_class: int) -> int:
+    """First layer whose top-1 class differs from ``true_class``.
+
+    Returns ``L`` (one past the last layer) if the trajectory never diverges.
+    """
+    trajectory = check_trajectory(trajectory)
+    if not 0 <= true_class < trajectory.shape[1]:
+        raise ShapeError(
+            f"true_class {true_class} out of range for {trajectory.shape[1]} classes"
+        )
+    top1 = trajectory.argmax(axis=1)
+    mismatches = np.nonzero(top1 != true_class)[0]
+    return int(mismatches[0]) if mismatches.size else int(trajectory.shape[0])
+
+
+def commitment_depth(trajectory: np.ndarray, predicted_class: int) -> float:
+    """Fraction of trailing layers whose top-1 prediction already is ``predicted_class``.
+
+    1.0 means the network committed to the (final) prediction from the very
+    first layer; values near 0 mean the decision only appeared at the end.
+    """
+    trajectory = check_trajectory(trajectory)
+    if not 0 <= predicted_class < trajectory.shape[1]:
+        raise ShapeError(
+            f"predicted_class {predicted_class} out of range for {trajectory.shape[1]} classes"
+        )
+    top1 = trajectory.argmax(axis=1)
+    depth = 0
+    for layer in range(trajectory.shape[0] - 1, -1, -1):
+        if top1[layer] == predicted_class:
+            depth += 1
+        else:
+            break
+    return depth / trajectory.shape[0]
+
+
+def confidence_trajectory(trajectory: np.ndarray, target_class: int) -> np.ndarray:
+    """The probability assigned to ``target_class`` at every layer."""
+    trajectory = check_trajectory(trajectory)
+    if not 0 <= target_class < trajectory.shape[1]:
+        raise ShapeError(
+            f"target_class {target_class} out of range for {trajectory.shape[1]} classes"
+        )
+    return trajectory[:, target_class].copy()
+
+
+def entropy_profile(trajectory: np.ndarray) -> np.ndarray:
+    """Normalized entropy (``[0, 1]``) of the probe distribution at every layer."""
+    trajectory = check_trajectory(trajectory)
+    return normalized_entropy(trajectory, axis=1)
+
+
+def layer_stability(trajectory: np.ndarray) -> float:
+    """How little the belief changes between consecutive layers, in ``[0, 1]``.
+
+    Computed as one minus the mean consecutive-layer JS divergence (normalized
+    by ``log 2``).  A completely static footprint scores 1.
+    """
+    trajectory = check_trajectory(trajectory)
+    if trajectory.shape[0] < 2:
+        return 1.0
+    consecutive = js_divergence(trajectory[:-1], trajectory[1:], axis=1) / np.log(2.0)
+    return float(1.0 - consecutive.mean())

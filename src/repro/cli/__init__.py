@@ -1,0 +1,5 @@
+"""Command-line entry points (``repro-train``, ``repro-inject``, ``repro-diagnose``, ``repro-table1``)."""
+
+from . import diagnose, inject, table1, train
+
+__all__ = ["train", "inject", "diagnose", "table1"]

@@ -1,0 +1,59 @@
+"""Shared helpers for the command-line entry points."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..experiments.config import ExperimentSettings, preset
+
+__all__ = ["add_settings_arguments", "settings_from_args", "run_main"]
+
+
+def add_settings_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the experiment-settings flags shared by every command."""
+    parser.add_argument(
+        "--preset",
+        default="default",
+        choices=["default", "quick", "smoke", "paper"],
+        help="experiment preset providing the base settings",
+    )
+    parser.add_argument("--model", default=None, help="model architecture (lenet, alexnet, resnet, densenet)")
+    parser.add_argument("--dataset", default=None, choices=["mnist", "cifar"], help="dataset stand-in")
+    parser.add_argument("--seed", type=int, default=None, help="master experiment seed")
+    parser.add_argument("--epochs", type=int, default=None, help="training epochs of the target model")
+    parser.add_argument("--train-per-class", type=int, default=None, help="training examples per class")
+    parser.add_argument("--test-per-class", type=int, default=None, help="production examples per class")
+
+
+def settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    """Build :class:`ExperimentSettings` from parsed CLI flags."""
+    settings = preset(args.preset)
+    if getattr(args, "model", None):
+        settings = settings.for_model(args.model)
+    overrides = {}
+    if getattr(args, "dataset", None):
+        overrides["dataset"] = args.dataset
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    if getattr(args, "epochs", None) is not None:
+        overrides["epochs"] = args.epochs
+    if getattr(args, "train_per_class", None) is not None:
+        overrides["train_per_class"] = args.train_per_class
+    if getattr(args, "test_per_class", None) is not None:
+        overrides["test_per_class"] = args.test_per_class
+    if overrides:
+        from dataclasses import replace
+
+        settings = replace(settings, **overrides)
+    return settings
+
+
+def run_main(main, argv: Optional[Sequence[str]] = None) -> int:
+    """Uniform exception-to-exit-code handling for console entry points."""
+    try:
+        return int(main(argv) or 0)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted", file=sys.stderr)
+        return 130

@@ -1,0 +1,57 @@
+"""``repro-diagnose``: diagnose a previously saved model on fresh production data."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from ..core import DeepMorph
+from ..experiments.runner import make_dataset
+from ..serialize import load_model, save_report
+from ..training import evaluate
+from .common import add_settings_arguments, run_main, settings_from_args
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-diagnose",
+        description=(
+            "Load a model saved by repro-train, regenerate its training and production "
+            "splits, and run the DeepMorph diagnosis on the production faulty cases."
+        ),
+    )
+    add_settings_arguments(parser)
+    parser.add_argument("--model-file", required=True, help="model saved by repro-train")
+    parser.add_argument("--report", default=None, help="optional path to save the JSON report")
+    return parser
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    settings = settings_from_args(args)
+
+    model = load_model(args.model_file)
+    _, train_data, test_data = make_dataset(settings)
+    _, accuracy = evaluate(model, test_data)
+    print(f"loaded {model.kind} ({model.num_parameters()} parameters), "
+          f"production accuracy {accuracy:.3f}")
+
+    morph = DeepMorph(probe_epochs=settings.probe_epochs, rng=settings.seed)
+    morph.fit(model, train_data)
+    report = morph.diagnose_dataset(test_data, metadata={"model": model.kind})
+    print(report.summary())
+    if args.report:
+        path = save_report(report, args.report)
+        print(f"report saved to {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point."""
+    return run_main(_main, argv)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""``repro-inject``: run one defect-injection cell and print the diagnosis."""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Optional, Sequence
+
+from ..defects import DefectType
+from ..experiments.runner import run_cell
+from .common import add_settings_arguments, run_main, settings_from_args
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-inject",
+        description=(
+            "Inject one defect (ITD, UTD, or SD), train the model, run DeepMorph, "
+            "and print the resulting defect ratios."
+        ),
+    )
+    add_settings_arguments(parser)
+    parser.add_argument(
+        "--defect",
+        required=True,
+        choices=[d.value for d in DefectType.injectable()],
+        help="defect type to inject",
+    )
+    parser.add_argument("--json", action="store_true", help="print the result as JSON")
+    return parser
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    settings = settings_from_args(args)
+    cell = run_cell(args.defect, settings)
+
+    if args.json:
+        print(json.dumps(cell.as_dict(), indent=2, sort_keys=True))
+        return 0
+
+    print(f"model:            {settings.model} on synthetic {settings.dataset}")
+    print(f"injected defect:  {cell.injected_defect.value.upper()} ({cell.injection_description})")
+    print(f"test accuracy:    {cell.test_accuracy:.3f}")
+    print(f"faulty cases:     {cell.num_faulty_cases}")
+    if cell.report is not None:
+        print(f"diagnosis:        {cell.report.format_row()}")
+        print(f"dominant defect:  {cell.report.dominant_defect.value.upper()}")
+        match = cell.diagonal_correct()
+        print(f"matches injection: {'yes' if match else 'no'}")
+    else:
+        print("diagnosis:        model produced no faulty cases; nothing to diagnose")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point."""
+    return run_main(_main, argv)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

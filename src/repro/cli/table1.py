@@ -1,0 +1,65 @@
+"""``repro-table1``: regenerate the paper's Table I."""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Optional, Sequence
+
+from ..experiments.table1 import format_table1, run_table1
+from .common import add_settings_arguments, run_main, settings_from_args
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-table1",
+        description=(
+            "Reproduce Table I: for every (model, injected defect) pair, report the "
+            "ratio DeepMorph assigns to ITD / UTD / SD."
+        ),
+    )
+    add_settings_arguments(parser)
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        help="subset of models to run (default: lenet alexnet resnet densenet)",
+    )
+    parser.add_argument(
+        "--defects",
+        nargs="+",
+        default=None,
+        choices=["itd", "utd", "sd"],
+        help="subset of defects to inject (default: all three)",
+    )
+    parser.add_argument("--json", default=None, help="optional path to save the result as JSON")
+    return parser
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    settings = settings_from_args(args)
+    result = run_table1(
+        models=args.models,
+        defects=args.defects,
+        settings=settings,
+        progress=print,
+    )
+    print()
+    print(format_table1(result))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
+        print(f"result saved to {args.json}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point."""
+    return run_main(_main, argv)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

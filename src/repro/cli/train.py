@@ -1,0 +1,49 @@
+"""``repro-train``: train a model on a synthetic dataset and save it."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from ..experiments.runner import make_dataset, make_model, train_model
+from ..serialize import save_model
+from ..training import evaluate
+from .common import add_settings_arguments, run_main, settings_from_args
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-train",
+        description="Train one of the paper's model families on a synthetic dataset stand-in.",
+    )
+    add_settings_arguments(parser)
+    parser.add_argument("--output", default="model.npz", help="where to save the trained model")
+    return parser
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    settings = settings_from_args(args)
+
+    _, train_data, test_data = make_dataset(settings)
+    model = make_model(settings)
+    print(f"training {settings.model} on synthetic {settings.dataset} "
+          f"({len(train_data)} train / {len(test_data)} production examples)")
+    train_accuracy = train_model(model, train_data, settings)
+    _, test_accuracy = evaluate(model, test_data)
+    path = save_model(model, args.output)
+    print(f"final train accuracy: {train_accuracy:.3f}")
+    print(f"production accuracy:  {test_accuracy:.3f}")
+    print(f"model saved to {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point."""
+    return run_main(_main, argv)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,172 @@
+"""Data-flow footprints.
+
+A footprint is the record of how one input flowed through the instrumented
+model: the probe distribution at every hidden layer (the *trajectory*), the
+model's own final distribution, the resulting prediction, and — when known —
+the true label.  Footprints are the objects DeepMorph compares against class
+execution patterns to reason about defects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.trajectory import (
+    check_trajectory,
+    commitment_depth,
+    confidence_trajectory,
+    divergence_layer,
+    entropy_profile,
+)
+from ..exceptions import ShapeError
+from .instrument import SoftmaxInstrumentedModel
+
+__all__ = ["Footprint", "FootprintExtractor"]
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """Layer-by-layer execution record of one input.
+
+    Attributes
+    ----------
+    trajectory:
+        ``(num_layers, num_classes)`` probe distributions, in execution order.
+    final_probs:
+        The model's final softmax distribution, shape ``(num_classes,)``.
+    predicted:
+        ``argmax`` of ``final_probs``.
+    true_label:
+        Ground-truth label if known, else ``None``.
+    layer_names:
+        Names of the instrumented layers (row labels of ``trajectory``).
+    """
+
+    trajectory: np.ndarray
+    final_probs: np.ndarray
+    predicted: int
+    true_label: Optional[int] = None
+    layer_names: Optional[tuple] = None
+
+    def __post_init__(self):
+        check_trajectory(self.trajectory)
+        final = np.asarray(self.final_probs, dtype=np.float64)
+        if final.ndim != 1:
+            raise ShapeError(f"final_probs must be 1-D, got shape {final.shape}")
+        if final.shape[0] != self.trajectory.shape[1]:
+            raise ShapeError(
+                f"final_probs has {final.shape[0]} classes but trajectory has "
+                f"{self.trajectory.shape[1]}"
+            )
+        if not 0 <= self.predicted < final.shape[0]:
+            raise ShapeError(
+                f"predicted class {self.predicted} out of range for {final.shape[0]} classes"
+            )
+
+    # -- basic geometry ------------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        return int(self.trajectory.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.trajectory.shape[1])
+
+    @property
+    def is_misclassified(self) -> Optional[bool]:
+        """Whether prediction and true label disagree (``None`` if no label)."""
+        if self.true_label is None:
+            return None
+        return int(self.true_label) != int(self.predicted)
+
+    @property
+    def final_confidence(self) -> float:
+        """The model's confidence in its own prediction."""
+        return float(self.final_probs[self.predicted])
+
+    # -- derived views -----------------------------------------------------------
+
+    def full_trajectory(self) -> np.ndarray:
+        """The trajectory with the model's final distribution appended as a last row."""
+        return np.vstack([self.trajectory, self.final_probs[None, :]])
+
+    def confidence_in(self, target_class: int) -> np.ndarray:
+        """Per-layer probability assigned to ``target_class``."""
+        return confidence_trajectory(self.trajectory, target_class)
+
+    def entropy_profile(self) -> np.ndarray:
+        """Per-layer normalized entropy of the probe beliefs."""
+        return entropy_profile(self.trajectory)
+
+    def divergence_layer(self) -> Optional[int]:
+        """First layer whose top-1 class differs from the true label (needs a label)."""
+        if self.true_label is None:
+            return None
+        return divergence_layer(self.trajectory, int(self.true_label))
+
+    def commitment_depth(self) -> float:
+        """Fraction of trailing layers already committed to the final prediction."""
+        return commitment_depth(self.trajectory, int(self.predicted))
+
+    def __repr__(self) -> str:
+        truth = f", true={self.true_label}" if self.true_label is not None else ""
+        return (
+            f"Footprint(layers={self.num_layers}, classes={self.num_classes}, "
+            f"predicted={self.predicted}{truth}, confidence={self.final_confidence:.3f})"
+        )
+
+
+class FootprintExtractor:
+    """Extracts :class:`Footprint` objects from a fitted instrumented model."""
+
+    def __init__(self, instrumented: SoftmaxInstrumentedModel, batch_size: int = 128):
+        self.instrumented = instrumented
+        self.batch_size = int(batch_size)
+
+    def extract(
+        self, inputs: np.ndarray, labels: Optional[Sequence[int]] = None
+    ) -> List[Footprint]:
+        """Extract one footprint per input.
+
+        Parameters
+        ----------
+        inputs:
+            Batch of model inputs, shape ``(n, ...)``.
+        labels:
+            Optional ground-truth labels, length ``n``.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if labels is not None:
+            labels = np.asarray(labels)
+            if labels.shape[0] != inputs.shape[0]:
+                raise ShapeError(
+                    f"labels and inputs disagree on batch size: "
+                    f"{labels.shape[0]} vs {inputs.shape[0]}"
+                )
+
+        trajectories, final_probs = self.instrumented.layer_distributions(
+            inputs, batch_size=self.batch_size
+        )
+        layer_names = tuple(self.instrumented.layer_names)
+        footprints: List[Footprint] = []
+        for i in range(inputs.shape[0]):
+            footprints.append(Footprint(
+                trajectory=trajectories[i],
+                final_probs=final_probs[i],
+                predicted=int(final_probs[i].argmax()),
+                true_label=int(labels[i]) if labels is not None else None,
+                layer_names=layer_names,
+            ))
+        return footprints
+
+    def extract_arrays(
+        self, inputs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized variant returning ``(trajectories, final_probs)`` arrays."""
+        return self.instrumented.layer_distributions(
+            np.asarray(inputs, dtype=np.float64), batch_size=self.batch_size
+        )

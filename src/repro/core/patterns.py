@@ -1,0 +1,349 @@
+"""Class execution patterns.
+
+The paper's second step: "the softmax-instrumented model is used to learn the
+execution pattern of the training cases for each target class".  An execution
+pattern summarizes how training examples of one class typically flow through
+the network — the mean probe trajectory, the per-layer confidence the class
+accumulates, and how dispersed individual trajectories are around that mean.
+Faulty-case footprints are later judged against these patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.divergence import normalized_entropy
+from ..analysis.trajectory import (
+    pairwise_trajectory_divergences,
+    trajectory_divergence,
+    trajectory_divergence_to_stack,
+    trajectory_similarity,
+)
+from ..data.dataset import Dataset
+from ..exceptions import NotFittedError, ShapeError
+from .footprint import Footprint, FootprintExtractor
+from .instrument import SoftmaxInstrumentedModel
+
+__all__ = ["ClassExecutionPattern", "PatternLibrary"]
+
+
+@dataclass(frozen=True)
+class ClassExecutionPattern:
+    """Summary of how one class's training examples execute through the model.
+
+    Attributes
+    ----------
+    class_id:
+        The class this pattern describes.
+    mean_trajectory:
+        ``(num_layers, num_classes)`` mean probe distribution per layer.
+    mean_confidence:
+        Per-layer mean probability assigned to ``class_id``.
+    dispersion:
+        Mean JS-based trajectory divergence of member footprints from the mean
+        trajectory — how tight the class's execution pattern is.
+    mean_final_confidence:
+        Mean final-softmax probability of ``class_id`` over members.
+    mean_entropy:
+        Mean (over members and layers) normalized probe entropy.
+    support:
+        Number of training footprints the pattern was estimated from.
+    member_trajectories:
+        The member footprints' trajectories, shape ``(support, L, C)``.  Kept
+        so faulty cases can be compared against *individual* training
+        executions (nearest-member analysis), not just the class mean.
+    member_nn_scale:
+        Median nearest-neighbour trajectory divergence *among* the members —
+        the natural scale for judging whether an outside footprint is "as
+        close as members are to each other".
+    """
+
+    class_id: int
+    mean_trajectory: np.ndarray
+    mean_confidence: np.ndarray
+    dispersion: float
+    mean_final_confidence: float
+    mean_entropy: float
+    support: int
+    member_trajectories: Optional[np.ndarray] = None
+    member_nn_scale: float = 0.0
+
+    @property
+    def num_layers(self) -> int:
+        return int(self.mean_trajectory.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.mean_trajectory.shape[1])
+
+    def similarity_to(self, footprint: Footprint, late_layer_emphasis: float = 0.5) -> float:
+        """JS-based similarity between a footprint and this pattern, in ``[0, 1]``."""
+        return trajectory_similarity(
+            footprint.trajectory, self.mean_trajectory, late_layer_emphasis=late_layer_emphasis
+        )
+
+    def divergence_from(self, footprint: Footprint, late_layer_emphasis: float = 0.5) -> float:
+        """JS-based divergence between a footprint and this pattern (nats)."""
+        return trajectory_divergence(
+            footprint.trajectory, self.mean_trajectory, late_layer_emphasis=late_layer_emphasis
+        )
+
+    def atypicality_of(self, footprint: Footprint, eps: float = 1e-6) -> float:
+        """How unusual a footprint is relative to the class's own spread, in ``[0, 1]``.
+
+        0.5 means "about as far from the mean as a typical member"; values
+        near 1 mean the footprint lies far outside the training pattern.
+        """
+        divergence = self.divergence_from(footprint)
+        return float(divergence / (divergence + self.dispersion + eps))
+
+    def nearest_member_divergence(
+        self, footprint: Footprint, k: int = 3, late_layer_emphasis: float = 1.0
+    ) -> float:
+        """Mean trajectory divergence to the ``k`` closest member footprints.
+
+        Small values mean the faulty case executes almost exactly like some
+        *specific* training examples of this class — the signature of
+        mislabeled training data teaching the network the wrong mapping.
+        Falls back to the mean-trajectory divergence when members were not
+        stored.  Later layers are emphasized because early-layer probe beliefs
+        are dominated by per-sample pixel noise.
+        """
+        if self.member_trajectories is None or self.member_trajectories.shape[0] == 0:
+            return self.divergence_from(footprint, late_layer_emphasis=late_layer_emphasis)
+        divergences = trajectory_divergence_to_stack(
+            footprint.trajectory, self.member_trajectories,
+            late_layer_emphasis=late_layer_emphasis,
+        )
+        k = max(1, min(int(k), divergences.shape[0]))
+        return float(np.sort(divergences)[:k].mean())
+
+    def nn_typicality_of(self, footprint: Footprint, k: int = 3, scale_floor: float = 0.01) -> float:
+        """Nearest-member typicality in ``[0, 1]``.
+
+        Compares the footprint's distance to its nearest members against the
+        members' own nearest-neighbour scale: 0.5 means "as close as members
+        are to each other", values near 1 mean the footprint practically
+        coincides with specific training members, values near 0 mean even the
+        closest members are far away.
+        """
+        nearest = self.nearest_member_divergence(footprint, k=k)
+        scale = max(float(self.member_nn_scale), scale_floor)
+        return float(scale / (scale + nearest))
+
+
+class PatternLibrary:
+    """Per-class execution patterns learned from the training data.
+
+    Patterns are estimated from training examples that the model itself
+    classifies correctly (the paper learns "the execution pattern of the
+    training cases for each target class"; correctly-handled cases are the
+    ones that characterize the class's intended execution).  Classes with no
+    correctly-classified training examples fall back to using all of their
+    examples; classes with no examples at all get no pattern.
+    """
+
+    def __init__(
+        self,
+        instrumented: SoftmaxInstrumentedModel,
+        correct_only: bool = True,
+        late_layer_emphasis: float = 0.5,
+        nn_layer_emphasis: float = 1.0,
+        batch_size: int = 128,
+    ):
+        self.instrumented = instrumented
+        self.correct_only = bool(correct_only)
+        self.late_layer_emphasis = float(late_layer_emphasis)
+        self.nn_layer_emphasis = float(nn_layer_emphasis)
+        self.batch_size = int(batch_size)
+        self.patterns: Dict[int, ClassExecutionPattern] = {}
+        self.global_mean_entropy: Optional[float] = None
+        self.global_mean_dispersion: Optional[float] = None
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    @property
+    def num_classes(self) -> int:
+        return self.instrumented.num_classes
+
+    # -- fitting ----------------------------------------------------------------
+
+    def fit(self, train_data: Dataset) -> "PatternLibrary":
+        """Learn one execution pattern per class from the training data."""
+        if len(train_data) == 0:
+            raise ShapeError("cannot fit a pattern library on an empty dataset")
+        inputs, labels = train_data.arrays()
+        extractor = FootprintExtractor(self.instrumented, batch_size=self.batch_size)
+        trajectories, final_probs = extractor.extract_arrays(inputs)
+        predictions = final_probs.argmax(axis=1)
+        self._training_inconsistency = self._compute_training_inconsistency(labels, predictions)
+
+        entropies: List[float] = []
+        dispersions: List[float] = []
+        for class_id in range(self.num_classes):
+            member_mask = labels == class_id
+            if not member_mask.any():
+                continue
+            if self.correct_only:
+                correct_mask = member_mask & (predictions == class_id)
+                if correct_mask.any():
+                    member_mask = correct_mask
+            member_traj = trajectories[member_mask]
+            member_final = final_probs[member_mask]
+
+            mean_trajectory = member_traj.mean(axis=0)
+            mean_confidence = member_traj[:, :, class_id].mean(axis=0)
+            divergences = trajectory_divergence_to_stack(
+                mean_trajectory, member_traj, late_layer_emphasis=self.late_layer_emphasis
+            )
+            dispersion = float(divergences.mean()) if divergences.size else 0.0
+            mean_entropy = float(normalized_entropy(member_traj, axis=2).mean())
+
+            if member_traj.shape[0] > 1:
+                pairwise = pairwise_trajectory_divergences(
+                    member_traj, late_layer_emphasis=self.nn_layer_emphasis
+                )
+                np.fill_diagonal(pairwise, np.inf)
+                member_nn_scale = float(np.median(pairwise.min(axis=1)))
+            else:
+                member_nn_scale = dispersion
+
+            self.patterns[class_id] = ClassExecutionPattern(
+                class_id=class_id,
+                mean_trajectory=mean_trajectory,
+                mean_confidence=mean_confidence,
+                dispersion=dispersion,
+                mean_final_confidence=float(member_final[:, class_id].mean()),
+                mean_entropy=mean_entropy,
+                support=int(member_mask.sum()),
+                member_trajectories=member_traj.copy(),
+                member_nn_scale=member_nn_scale,
+            )
+            entropies.append(mean_entropy)
+            dispersions.append(dispersion)
+
+        if not self.patterns:
+            raise ShapeError("pattern library fitting produced no patterns (empty classes only)")
+        self.global_mean_entropy = float(np.mean(entropies))
+        self.global_mean_dispersion = float(np.mean(dispersions))
+        self._fitted = True
+        return self
+
+    # -- queries ------------------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError("pattern library is not fitted; call fit() first")
+
+    def feature_quality(self) -> float:
+        """Model-level feature quality (delegates to the instrumented model)."""
+        return self.instrumented.feature_quality()
+
+    @staticmethod
+    def _compute_training_inconsistency(labels: np.ndarray, predictions: np.ndarray) -> float:
+        """Largest systematic label/prediction disagreement inside the training set.
+
+        For every labeled class ``c``, the number of its training examples the
+        trained model itself maps to one *single* other class ``d`` is counted
+        and normalized by the expected per-class size of the training set; the
+        maximum over ``(c, d)`` pairs is returned (capped at 1).  A healthy
+        training set yields a small value (the model fits its own training
+        data); a training set with systematically mislabeled examples yields a
+        large value, because either the model refuses to learn the wrong
+        labels or flips the genuine ones.
+        """
+        labels = np.asarray(labels)
+        predictions = np.asarray(predictions)
+        classes = np.unique(labels)
+        if labels.size == 0 or classes.size == 0:
+            return 0.0
+        # Normalize by the *expected* class size so a class that is merely
+        # under-represented (the ITD defect) cannot masquerade as label noise.
+        expected_class_size = labels.size / classes.size
+        worst = 0.0
+        for c in classes:
+            mask = labels == c
+            wrong = predictions[mask]
+            wrong = wrong[wrong != c]
+            if wrong.size == 0:
+                continue
+            counts = np.bincount(wrong)
+            worst = max(worst, float(counts.max()) / expected_class_size)
+        return float(min(worst, 1.0))
+
+    def training_inconsistency(self) -> float:
+        """Largest per-class systematic disagreement between training labels and the
+        model's own predictions on the training set (see ``_compute_training_inconsistency``)."""
+        self._require_fitted()
+        return float(getattr(self, "_training_inconsistency", 0.0))
+
+    def has_pattern(self, class_id: int) -> bool:
+        return class_id in self.patterns
+
+    def pattern(self, class_id: int) -> ClassExecutionPattern:
+        """The execution pattern of ``class_id`` (raises if the class had no data)."""
+        self._require_fitted()
+        if class_id not in self.patterns:
+            raise KeyError(f"no execution pattern for class {class_id} (no training examples)")
+        return self.patterns[class_id]
+
+    def classes(self) -> List[int]:
+        """Classes that have a learned pattern."""
+        self._require_fitted()
+        return sorted(self.patterns)
+
+    def similarity(self, footprint: Footprint, class_id: int) -> float:
+        """Similarity of ``footprint`` to the pattern of ``class_id`` (0 if unknown class)."""
+        self._require_fitted()
+        if class_id not in self.patterns:
+            return 0.0
+        return self.patterns[class_id].similarity_to(
+            footprint, late_layer_emphasis=self.late_layer_emphasis
+        )
+
+    def nn_typicality(self, footprint: Footprint, class_id: int, k: int = 3) -> float:
+        """Nearest-member typicality of ``footprint`` w.r.t. ``class_id`` (0 if unknown)."""
+        self._require_fitted()
+        if class_id not in self.patterns:
+            return 0.0
+        return self.patterns[class_id].nn_typicality_of(footprint, k=k)
+
+    def pattern_overlap(self) -> float:
+        """Mean pairwise similarity between different classes' mean trajectories.
+
+        Well-separated classes (a sound backbone) score low; a backbone whose
+        hidden layers cannot tell the classes apart scores high.
+        """
+        self._require_fitted()
+        class_ids = sorted(self.patterns)
+        if len(class_ids) < 2:
+            return 0.0
+        similarities = []
+        for i, a in enumerate(class_ids):
+            for b in class_ids[i + 1:]:
+                similarities.append(trajectory_similarity(
+                    self.patterns[a].mean_trajectory,
+                    self.patterns[b].mean_trajectory,
+                    late_layer_emphasis=self.late_layer_emphasis,
+                ))
+        return float(np.mean(similarities))
+
+    def best_match(self, footprint: Footprint) -> tuple[int, float]:
+        """The class whose pattern the footprint matches best, and that similarity."""
+        self._require_fitted()
+        best_class, best_sim = -1, -np.inf
+        for class_id, pattern in self.patterns.items():
+            sim = pattern.similarity_to(footprint, late_layer_emphasis=self.late_layer_emphasis)
+            if sim > best_sim:
+                best_class, best_sim = class_id, sim
+        return best_class, float(best_sim)
+
+    def __repr__(self) -> str:
+        status = "fitted" if self._fitted else "unfitted"
+        return f"PatternLibrary(classes={len(self.patterns)}, {status})"

@@ -1,0 +1,171 @@
+"""Footprint specifics.
+
+"Footprint specifics" is the paper's name for the per-case quantities
+DeepMorph derives from a faulty case's data-flow footprint by comparing it
+against the class execution patterns.  They are the features the defect
+classifier scores: how well the case follows the predicted class's pattern,
+how atypical it is for its true class, how sharp or diffuse the layer-wise
+beliefs are, and how early the execution commits or diverges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..analysis.trajectory import layer_stability
+from ..exceptions import ConfigurationError
+from .footprint import Footprint
+from .patterns import PatternLibrary
+
+__all__ = ["FootprintSpecifics", "compute_specifics"]
+
+
+@dataclass(frozen=True)
+class FootprintSpecifics:
+    """Per-case features derived from a footprint and the pattern library.
+
+    All features lie in ``[0, 1]``.
+
+    Attributes
+    ----------
+    predicted, true_label:
+        The case's predicted and ground-truth classes.
+    final_confidence:
+        The model's confidence in its (wrong) prediction.
+    commitment:
+        Fraction of trailing layers already committed to the prediction.
+    match_predicted:
+        Similarity of the footprint to the *predicted* class's execution
+        pattern — high values mean the network executed the wrong class's
+        pattern "cleanly".
+    match_true:
+        Similarity of the footprint to the *true* class's execution pattern.
+    best_match:
+        Similarity to the best-matching pattern of any class.
+    atypicality_true:
+        How far outside the true class's training pattern the footprint lies
+        (0.5 ≈ typical member, → 1 far outside).
+    mean_entropy:
+        Mean normalized entropy of the per-layer probe beliefs — high values
+        mean the hidden layers never build a confident belief (weak features).
+    early_entropy:
+        Mean normalized entropy over the first half of the layers.
+    divergence_point:
+        Normalized position of the first layer whose top-1 differs from the
+        true label (0 = already wrong at the first probe, 1 = never wrong).
+    stability:
+        How little the belief changes between consecutive layers.
+    late_entropy:
+        Mean normalized entropy over the second half of the layers (sound
+        backbones have sharp late-layer beliefs even when early layers are
+        generic).
+    feature_quality:
+        Model-level feature quality: best held-out probe accuracy over the
+        hidden layers, rescaled so chance level is 0.  Identical for every
+        case of the same model; low values are the fingerprint of a structure
+        defect.
+    nn_typicality_predicted:
+        Nearest-member typicality with respect to the *predicted* class: how
+        close the case's footprint comes to specific training executions of
+        the class the model chose.  Near 1 means the network treats the case
+        exactly like certain training examples of the wrong class — the
+        fingerprint of mislabeled training data.
+    nn_typicality_true:
+        Nearest-member typicality with respect to the *true* class.  Low
+        values mean no training example of the true class executes like this
+        case — the fingerprint of missing training data.
+    """
+
+    predicted: int
+    true_label: int
+    final_confidence: float
+    commitment: float
+    match_predicted: float
+    match_true: float
+    best_match: float
+    best_match_class: int
+    atypicality_true: float
+    mean_entropy: float
+    early_entropy: float
+    divergence_point: float
+    stability: float
+    late_entropy: float = 0.0
+    feature_quality: float = 1.0
+    nn_typicality_predicted: float = 0.0
+    nn_typicality_true: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly representation."""
+        return {
+            "predicted": self.predicted,
+            "true_label": self.true_label,
+            "final_confidence": self.final_confidence,
+            "commitment": self.commitment,
+            "match_predicted": self.match_predicted,
+            "match_true": self.match_true,
+            "best_match": self.best_match,
+            "best_match_class": self.best_match_class,
+            "atypicality_true": self.atypicality_true,
+            "mean_entropy": self.mean_entropy,
+            "early_entropy": self.early_entropy,
+            "late_entropy": self.late_entropy,
+            "divergence_point": self.divergence_point,
+            "stability": self.stability,
+            "feature_quality": self.feature_quality,
+            "nn_typicality_predicted": self.nn_typicality_predicted,
+            "nn_typicality_true": self.nn_typicality_true,
+        }
+
+
+def compute_specifics(footprint: Footprint, library: PatternLibrary) -> FootprintSpecifics:
+    """Derive the footprint specifics of one (faulty) case.
+
+    The footprint must carry a true label — specifics describe how a *known*
+    misbehaviour happened, so the ground truth of the faulty case is required.
+    """
+    if footprint.true_label is None:
+        raise ConfigurationError(
+            "footprint specifics require the true label of the faulty case"
+        )
+    true_label = int(footprint.true_label)
+    predicted = int(footprint.predicted)
+
+    match_pred = library.similarity(footprint, predicted)
+    match_true = library.similarity(footprint, true_label)
+    best_class, best_sim = library.best_match(footprint)
+
+    if library.has_pattern(true_label):
+        atypicality = library.pattern(true_label).atypicality_of(footprint)
+    else:
+        # The class never appeared in training at all: maximally atypical.
+        atypicality = 1.0
+
+    entropies = footprint.entropy_profile()
+    half = max(1, footprint.num_layers // 2)
+    divergence = footprint.divergence_layer()
+    divergence_point = (
+        float(divergence) / footprint.num_layers if divergence is not None else 1.0
+    )
+
+    return FootprintSpecifics(
+        predicted=predicted,
+        true_label=true_label,
+        final_confidence=float(footprint.final_confidence),
+        commitment=float(footprint.commitment_depth()),
+        match_predicted=float(match_pred),
+        match_true=float(match_true),
+        best_match=float(best_sim),
+        best_match_class=int(best_class),
+        atypicality_true=float(atypicality),
+        mean_entropy=float(np.mean(entropies)),
+        early_entropy=float(np.mean(entropies[:half])),
+        late_entropy=float(np.mean(entropies[half:])) if footprint.num_layers > half else float(np.mean(entropies)),
+        divergence_point=float(divergence_point),
+        stability=float(layer_stability(footprint.trajectory)),
+        feature_quality=float(library.feature_quality()),
+        nn_typicality_predicted=float(library.nn_typicality(footprint, predicted)),
+        nn_typicality_true=float(library.nn_typicality(footprint, true_label)),
+    )

@@ -1,0 +1,56 @@
+"""Datasets, loaders, transforms, and synthetic corpus generators."""
+
+from .dataset import (
+    ArrayDataset,
+    Dataset,
+    Subset,
+    class_counts,
+    class_indices,
+    concat_datasets,
+    stratified_split,
+    train_test_split,
+)
+from .loader import DataLoader, batch_iterator
+from .synthetic import (
+    SyntheticCIFAR,
+    SyntheticConfig,
+    SyntheticImageClassification,
+    SyntheticMNIST,
+    make_prototypes,
+)
+from .transforms import (
+    Compose,
+    Cutout,
+    GaussianNoise,
+    Normalize,
+    PerImageStandardize,
+    RandomHorizontalFlip,
+    RandomTranslation,
+    Transform,
+)
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "Subset",
+    "concat_datasets",
+    "train_test_split",
+    "stratified_split",
+    "class_counts",
+    "class_indices",
+    "DataLoader",
+    "batch_iterator",
+    "SyntheticConfig",
+    "SyntheticImageClassification",
+    "SyntheticMNIST",
+    "SyntheticCIFAR",
+    "make_prototypes",
+    "Transform",
+    "Compose",
+    "Normalize",
+    "PerImageStandardize",
+    "GaussianNoise",
+    "RandomHorizontalFlip",
+    "RandomTranslation",
+    "Cutout",
+]

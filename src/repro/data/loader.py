@@ -1,0 +1,87 @@
+"""Mini-batch iteration over datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import RngLike, ensure_rng
+from .dataset import Dataset
+
+__all__ = ["DataLoader", "batch_iterator"]
+
+
+def batch_iterator(
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+    shuffle: bool = False,
+    rng: RngLike = None,
+    drop_last: bool = False,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(inputs, labels)`` mini-batches from arrays.
+
+    A functional alternative to :class:`DataLoader` for code that already has
+    materialized arrays (e.g. probe training inside the instrumented model).
+    """
+    if batch_size <= 0:
+        raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+    n = inputs.shape[0]
+    order = np.arange(n)
+    if shuffle:
+        ensure_rng(rng).shuffle(order)
+    for start in range(0, n, batch_size):
+        idx = order[start:start + batch_size]
+        if drop_last and idx.shape[0] < batch_size:
+            break
+        yield inputs[idx], labels[idx]
+
+
+class DataLoader:
+    """Iterate over a :class:`~repro.data.dataset.Dataset` in mini-batches.
+
+    Each full iteration re-shuffles (when ``shuffle=True``) with an
+    independent draw from the loader's own generator, so epochs differ but the
+    whole sequence is reproducible from the seed.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: RngLike = None,
+    ):
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = ensure_rng(rng)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        inputs, labels = self.dataset.arrays()
+        yield from batch_iterator(
+            inputs,
+            labels,
+            self.batch_size,
+            shuffle=self.shuffle,
+            rng=self._rng,
+            drop_last=self.drop_last,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DataLoader(dataset={getattr(self.dataset, 'name', 'dataset')!r}, "
+            f"batch_size={self.batch_size}, shuffle={self.shuffle})"
+        )

@@ -1,0 +1,166 @@
+"""Input transforms (normalization, augmentation, corruption).
+
+Transforms operate on batches of NCHW images and return new arrays.  They are
+used for preprocessing (``Normalize``), light augmentation during synthetic
+dataset generation, and distribution-shift simulation in the ITD experiments
+(``GaussianNoise``, ``RandomTranslation``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from ..rng import RngLike, ensure_rng
+
+__all__ = [
+    "Transform",
+    "Compose",
+    "Normalize",
+    "GaussianNoise",
+    "RandomHorizontalFlip",
+    "RandomTranslation",
+    "Cutout",
+    "PerImageStandardize",
+]
+
+
+class Transform:
+    """Base class of batch transforms."""
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Compose(Transform):
+    """Apply several transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Transform]):
+        self.transforms: List[Transform] = list(transforms)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            images = transform(images)
+        return images
+
+
+def _check_nchw(images: np.ndarray) -> np.ndarray:
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 4:
+        raise ShapeError(f"transforms expect NCHW batches, got shape {images.shape}")
+    return images
+
+
+class Normalize(Transform):
+    """Channel-wise ``(x - mean) / std`` normalization."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]):
+        mean = np.asarray(mean, dtype=np.float64)
+        std = np.asarray(std, dtype=np.float64)
+        if mean.shape != std.shape:
+            raise ConfigurationError(f"mean and std shapes differ: {mean.shape} vs {std.shape}")
+        if np.any(std <= 0):
+            raise ConfigurationError("std must be strictly positive")
+        self.mean = mean
+        self.std = std
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = _check_nchw(images)
+        if images.shape[1] != self.mean.shape[0]:
+            raise ShapeError(
+                f"Normalize built for {self.mean.shape[0]} channels, got {images.shape[1]}"
+            )
+        return (images - self.mean[None, :, None, None]) / self.std[None, :, None, None]
+
+
+class PerImageStandardize(Transform):
+    """Standardize each image to zero mean and unit variance."""
+
+    def __init__(self, eps: float = 1e-8):
+        self.eps = float(eps)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = _check_nchw(images)
+        mean = images.mean(axis=(1, 2, 3), keepdims=True)
+        std = images.std(axis=(1, 2, 3), keepdims=True)
+        return (images - mean) / (std + self.eps)
+
+
+class GaussianNoise(Transform):
+    """Add i.i.d. Gaussian pixel noise."""
+
+    def __init__(self, std: float = 0.05, rng: RngLike = None):
+        if std < 0:
+            raise ConfigurationError(f"std must be non-negative, got {std}")
+        self.std = float(std)
+        self._rng = ensure_rng(rng)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = _check_nchw(images)
+        if self.std == 0:
+            return images.copy()
+        return images + self._rng.normal(0.0, self.std, size=images.shape)
+
+
+class RandomHorizontalFlip(Transform):
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, rng: RngLike = None):
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"p must lie in [0, 1], got {p}")
+        self.p = float(p)
+        self._rng = ensure_rng(rng)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = _check_nchw(images).copy()
+        flips = self._rng.random(images.shape[0]) < self.p
+        images[flips] = images[flips, :, :, ::-1]
+        return images
+
+
+class RandomTranslation(Transform):
+    """Shift each image by up to ``max_shift`` pixels in each direction (zero fill)."""
+
+    def __init__(self, max_shift: int = 2, rng: RngLike = None):
+        if max_shift < 0:
+            raise ConfigurationError(f"max_shift must be non-negative, got {max_shift}")
+        self.max_shift = int(max_shift)
+        self._rng = ensure_rng(rng)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = _check_nchw(images)
+        if self.max_shift == 0:
+            return images.copy()
+        out = np.zeros_like(images)
+        shifts = self._rng.integers(-self.max_shift, self.max_shift + 1, size=(images.shape[0], 2))
+        h, w = images.shape[2], images.shape[3]
+        for i, (dy, dx) in enumerate(shifts):
+            src_y = slice(max(0, -dy), min(h, h - dy))
+            dst_y = slice(max(0, dy), min(h, h + dy))
+            src_x = slice(max(0, -dx), min(w, w - dx))
+            dst_x = slice(max(0, dx), min(w, w + dx))
+            out[i, :, dst_y, dst_x] = images[i, :, src_y, src_x]
+        return out
+
+
+class Cutout(Transform):
+    """Zero out a random square patch of each image."""
+
+    def __init__(self, size: int = 4, rng: RngLike = None):
+        if size <= 0:
+            raise ConfigurationError(f"size must be positive, got {size}")
+        self.size = int(size)
+        self._rng = ensure_rng(rng)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = _check_nchw(images).copy()
+        h, w = images.shape[2], images.shape[3]
+        for i in range(images.shape[0]):
+            cy = int(self._rng.integers(0, h))
+            cx = int(self._rng.integers(0, w))
+            y0, y1 = max(0, cy - self.size // 2), min(h, cy + self.size // 2 + 1)
+            x0, x1 = max(0, cx - self.size // 2), min(w, cx + self.size // 2 + 1)
+            images[i, :, y0:y1, x0:x1] = 0.0
+        return images

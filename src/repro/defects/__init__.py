@@ -1,0 +1,45 @@
+"""Defect injection: the three defect types studied in the paper.
+
+* :class:`InsufficientTrainingData` (ITD) — starve selected classes of
+  training data.
+* :class:`UnreliableTrainingData` (UTD) — systematically mislabel part of one
+  class.
+* :class:`StructureDefect` (SD) — remove convolutional capacity from the
+  architecture.
+
+:func:`build_defect` constructs any of them from a :class:`DefectType` and
+keyword arguments, which is what the experiment harness and CLI use.
+"""
+
+from typing import Union
+
+from ..exceptions import DefectInjectionError
+from .itd import InsufficientTrainingData
+from .spec import DataInjectionReport, DefectType, StructureInjectionReport
+from .structure import StructureDefect
+from .utd import UnreliableTrainingData
+
+__all__ = [
+    "DefectType",
+    "DataInjectionReport",
+    "StructureInjectionReport",
+    "InsufficientTrainingData",
+    "UnreliableTrainingData",
+    "StructureDefect",
+    "build_defect",
+]
+
+Defect = Union[InsufficientTrainingData, UnreliableTrainingData, StructureDefect]
+
+
+def build_defect(defect_type: "DefectType | str", **kwargs) -> Defect:
+    """Construct the injector for ``defect_type`` with its keyword arguments."""
+    if isinstance(defect_type, str):
+        defect_type = DefectType.from_string(defect_type)
+    if defect_type == DefectType.ITD:
+        return InsufficientTrainingData(**kwargs)
+    if defect_type == DefectType.UTD:
+        return UnreliableTrainingData(**kwargs)
+    if defect_type == DefectType.SD:
+        return StructureDefect(**kwargs)
+    raise DefectInjectionError(f"cannot build an injector for defect type {defect_type!r}")

@@ -1,0 +1,124 @@
+"""Insufficient-training-data (ITD) defect injection.
+
+The paper injects ITD by "randomly remov[ing] a part of data of some specific
+classes", creating a mismatch between the training distribution and the
+production distribution: the network sees too few examples of the affected
+classes, so their intra-class variability is under-covered and production
+inputs from those classes get misclassified.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset, class_indices
+from ..exceptions import DefectInjectionError
+from ..rng import RngLike, ensure_rng
+from .spec import DataInjectionReport, DefectType
+
+__all__ = ["InsufficientTrainingData"]
+
+
+class InsufficientTrainingData:
+    """Remove most of the training data of selected classes.
+
+    Parameters
+    ----------
+    affected_classes:
+        Classes to starve.  ``None`` selects ``num_affected`` classes at
+        injection time (deterministically from the injection RNG).
+    num_affected:
+        How many classes to starve when ``affected_classes`` is ``None``.
+    keep_fraction:
+        Fraction of each affected class's examples that survives, in
+        ``[0, 1)``.  The paper removes "a part" of the data; the default keeps
+        10 %, which reliably degrades the affected classes without emptying
+        them.
+    """
+
+    defect_type = DefectType.ITD
+
+    def __init__(
+        self,
+        affected_classes: Optional[Sequence[int]] = None,
+        num_affected: int = 3,
+        keep_fraction: float = 0.1,
+    ):
+        if not 0.0 <= keep_fraction < 1.0:
+            raise DefectInjectionError(
+                f"keep_fraction must lie in [0, 1), got {keep_fraction}"
+            )
+        if affected_classes is None and num_affected <= 0:
+            raise DefectInjectionError(
+                f"num_affected must be positive when affected_classes is None, got {num_affected}"
+            )
+        self.affected_classes = (
+            [int(c) for c in affected_classes] if affected_classes is not None else None
+        )
+        self.num_affected = int(num_affected)
+        self.keep_fraction = float(keep_fraction)
+
+    def describe(self) -> str:
+        """One-line description of the injection."""
+        target = (
+            f"classes {self.affected_classes}"
+            if self.affected_classes is not None
+            else f"{self.num_affected} classes"
+        )
+        return f"ITD: keep {self.keep_fraction:.0%} of the training data of {target}"
+
+    def apply(
+        self, dataset: ArrayDataset, rng: RngLike = None
+    ) -> Tuple[ArrayDataset, DataInjectionReport]:
+        """Return the starved dataset and a report of what was removed."""
+        generator = ensure_rng(rng)
+        labels = dataset.labels
+        per_class = class_indices(labels, dataset.num_classes)
+
+        if self.affected_classes is not None:
+            affected = sorted(set(self.affected_classes))
+            invalid = [c for c in affected if not 0 <= c < dataset.num_classes]
+            if invalid:
+                raise DefectInjectionError(
+                    f"affected classes {invalid} out of range for {dataset.num_classes} classes"
+                )
+        else:
+            candidates = [c for c in range(dataset.num_classes) if per_class[c].size > 0]
+            if len(candidates) < self.num_affected:
+                raise DefectInjectionError(
+                    f"dataset has only {len(candidates)} non-empty classes, cannot starve "
+                    f"{self.num_affected}"
+                )
+            affected = sorted(
+                generator.choice(candidates, size=self.num_affected, replace=False).tolist()
+            )
+
+        keep_indices: List[np.ndarray] = []
+        removed_per_class = {}
+        for cls in range(dataset.num_classes):
+            idx = per_class[cls]
+            if cls not in affected or idx.size == 0:
+                keep_indices.append(idx)
+                continue
+            n_keep = int(np.floor(idx.size * self.keep_fraction))
+            n_keep = max(n_keep, 1) if self.keep_fraction > 0 else n_keep
+            chosen = generator.choice(idx, size=n_keep, replace=False) if n_keep > 0 else np.array([], dtype=np.int64)
+            keep_indices.append(np.sort(chosen))
+            removed_per_class[cls] = int(idx.size - n_keep)
+
+        kept = np.sort(np.concatenate(keep_indices)) if keep_indices else np.array([], dtype=np.int64)
+        if kept.size == 0:
+            raise DefectInjectionError("ITD injection removed the entire dataset")
+
+        injected = dataset.select(kept, name=f"{dataset.name}[itd]")
+        report = DataInjectionReport(
+            defect_type=DefectType.ITD,
+            original_size=len(dataset),
+            injected_size=len(injected),
+            affected_classes=affected,
+            removed_per_class=removed_per_class,
+            description=self.describe(),
+        )
+        return injected, report

@@ -1,0 +1,132 @@
+"""Defect taxonomy and injection reports.
+
+The paper studies three representative defect types.  This module defines the
+shared vocabulary: the :class:`DefectType` enumeration used everywhere (defect
+injection, per-case verdicts, aggregated reports, Table I) and the report
+dataclasses that record exactly what an injection changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+__all__ = ["DefectType", "DataInjectionReport", "StructureInjectionReport"]
+
+
+class DefectType(str, Enum):
+    """The three defect categories DeepMorph distinguishes (plus NONE).
+
+    * ``ITD`` — insufficient training data: the training distribution misses
+      part of the production distribution.
+    * ``UTD`` — unreliable training data: part of the training set is
+      mislabeled.
+    * ``SD`` — structure defect: the network architecture is too weak to learn
+      appropriate features.
+    * ``NONE`` — no injected defect (clean baseline runs).
+    """
+
+    ITD = "itd"
+    UTD = "utd"
+    SD = "sd"
+    NONE = "none"
+
+    @classmethod
+    def injectable(cls) -> List["DefectType"]:
+        """The defect types that can actually be injected (everything but NONE)."""
+        return [cls.ITD, cls.UTD, cls.SD]
+
+    @classmethod
+    def from_string(cls, value: str) -> "DefectType":
+        """Parse a defect type case-insensitively, with a helpful error."""
+        try:
+            return cls(value.strip().lower())
+        except ValueError as exc:
+            valid = [member.value for member in cls]
+            raise ValueError(f"unknown defect type {value!r}; expected one of {valid}") from exc
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DataInjectionReport:
+    """What a data-level defect injection (ITD or UTD) did to a dataset.
+
+    Attributes
+    ----------
+    defect_type:
+        Which defect was injected.
+    original_size, injected_size:
+        Dataset sizes before and after injection.
+    affected_classes:
+        Classes whose data was removed (ITD) or relabeled (UTD).
+    removed_per_class:
+        ITD only — number of examples removed from each affected class.
+    relabeled_count:
+        UTD only — number of examples whose label was changed.
+    relabel_map:
+        UTD only — mapping from source class to the class its examples were
+        retagged as.
+    description:
+        One-line human-readable summary.
+    """
+
+    defect_type: DefectType
+    original_size: int
+    injected_size: int
+    affected_classes: List[int] = field(default_factory=list)
+    removed_per_class: Dict[int, int] = field(default_factory=dict)
+    relabeled_count: int = 0
+    relabel_map: Dict[int, int] = field(default_factory=dict)
+    description: str = ""
+
+    def as_dict(self) -> Dict:
+        """JSON-friendly representation."""
+        return {
+            "defect_type": self.defect_type.value,
+            "original_size": self.original_size,
+            "injected_size": self.injected_size,
+            "affected_classes": list(self.affected_classes),
+            "removed_per_class": {str(k): v for k, v in self.removed_per_class.items()},
+            "relabeled_count": self.relabeled_count,
+            "relabel_map": {str(k): v for k, v in self.relabel_map.items()},
+            "description": self.description,
+        }
+
+
+@dataclass(frozen=True)
+class StructureInjectionReport:
+    """What a structure-defect injection did to a model architecture.
+
+    Attributes
+    ----------
+    model_kind:
+        Registry name of the affected architecture.
+    original_config, degraded_config:
+        The hyperparameter dictionaries before and after degradation.
+    removed_units:
+        Human-readable list of what was removed (e.g. ``"conv stage conv2"``,
+        ``"residual block group 3"``).
+    description:
+        One-line human-readable summary.
+    """
+
+    model_kind: str
+    original_config: Dict
+    degraded_config: Dict
+    removed_units: List[str] = field(default_factory=list)
+    description: str = ""
+    defect_type: DefectType = DefectType.SD
+
+    def as_dict(self) -> Dict:
+        """JSON-friendly representation."""
+        return {
+            "defect_type": self.defect_type.value,
+            "model_kind": self.model_kind,
+            "original_config": dict(self.original_config),
+            "degraded_config": dict(self.degraded_config),
+            "removed_units": list(self.removed_units),
+            "description": self.description,
+        }

@@ -1,0 +1,157 @@
+"""Structure-defect (SD) injection.
+
+The paper injects SD by "manually removing ... Convolution layer[s] from the
+original network structures, which aims at degrading the models via a weaker
+network structure".  This module automates that operation for every
+architecture in the model zoo: it rewrites the model's hyperparameter config
+to drop convolution stages / residual blocks / dense units (and optionally
+narrow the surviving channels), then rebuilds the degraded model through the
+registry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ..exceptions import DefectInjectionError
+from ..models.registry import build_from_config
+from ..models.base import ClassifierModel
+from ..rng import RngLike
+from .spec import DefectType, StructureInjectionReport
+
+__all__ = ["StructureDefect"]
+
+
+class StructureDefect:
+    """Weaken a model's architecture by removing convolutional capacity.
+
+    Parameters
+    ----------
+    keep_fraction:
+        Fraction of the convolution stages (LeNet/AlexNet), residual blocks
+        (ResNet), or dense units per block (DenseNet) to keep, in ``(0, 1]``.
+        At least one unit always survives so the model remains buildable.
+    narrow_factor:
+        Multiplier applied to the surviving channel widths / growth rate, in
+        ``(0, 1]``.  1.0 keeps widths unchanged.
+    """
+
+    defect_type = DefectType.SD
+
+    def __init__(self, keep_fraction: float = 0.34, narrow_factor: float = 0.5):
+        if not 0.0 < keep_fraction <= 1.0:
+            raise DefectInjectionError(f"keep_fraction must lie in (0, 1], got {keep_fraction}")
+        if not 0.0 < narrow_factor <= 1.0:
+            raise DefectInjectionError(f"narrow_factor must lie in (0, 1], got {narrow_factor}")
+        self.keep_fraction = float(keep_fraction)
+        self.narrow_factor = float(narrow_factor)
+
+    def describe(self) -> str:
+        """One-line description of the injection."""
+        return (
+            f"SD: keep {self.keep_fraction:.0%} of conv stages/blocks, "
+            f"narrow surviving widths to {self.narrow_factor:.0%}"
+        )
+
+    # -- config rewriting -----------------------------------------------------
+
+    def _keep_count(self, total: int) -> int:
+        return max(1, int(math.floor(total * self.keep_fraction)))
+
+    def _narrow(self, value: int) -> int:
+        return max(1, int(round(value * self.narrow_factor)))
+
+    def apply_to_config(self, config: Dict) -> Tuple[Dict, StructureInjectionReport]:
+        """Rewrite a :meth:`ClassifierModel.config` dict into its degraded form."""
+        if "kind" not in config or "hyperparameters" not in config:
+            raise DefectInjectionError(
+                "config must contain 'kind' and 'hyperparameters' (use ClassifierModel.config())"
+            )
+        kind = config["kind"]
+        hp = dict(config["hyperparameters"])
+        removed: List[str] = []
+
+        if kind in ("lenet", "alexnet"):
+            channels = list(hp.get("conv_channels", []))
+            if not channels:
+                raise DefectInjectionError(
+                    f"{kind} config has no convolution stages left to remove"
+                )
+            keep = self._keep_count(len(channels))
+            for i in range(keep, len(channels)):
+                removed.append(f"conv stage conv{i + 1} ({channels[i]} channels)")
+            channels = [self._narrow(c) for c in channels[:keep]]
+            hp["conv_channels"] = channels
+            # A structurally weak network is weak throughout: the surviving
+            # dense head is narrowed as well, so the defect cannot be hidden
+            # by a large fully-connected classifier memorizing the data.
+            hp["dense_units"] = [self._narrow(u) for u in hp.get("dense_units", [])] or hp.get("dense_units")
+            if kind == "alexnet":
+                hp["pool_after"] = [i for i in hp.get("pool_after", []) if i < keep]
+        elif kind == "resnet":
+            counts = list(hp.get("block_counts", []))
+            if not counts:
+                raise DefectInjectionError("resnet config has no block groups left to remove")
+            total_blocks = sum(counts)
+            keep_blocks = self._keep_count(total_blocks)
+            new_counts: List[int] = []
+            remaining = keep_blocks
+            for group, count in enumerate(counts):
+                take = min(count, remaining)
+                if take > 0:
+                    new_counts.append(take)
+                if take < count:
+                    removed.append(f"{count - take} residual block(s) from group {group + 1}")
+                remaining -= take
+            hp["block_counts"] = new_counts or [1]
+            hp["base_channels"] = self._narrow(int(hp.get("base_channels", 16)))
+        elif kind == "densenet":
+            units = list(hp.get("units_per_block", []))
+            if not units:
+                raise DefectInjectionError("densenet config has no dense blocks left to remove")
+            new_units = []
+            for block, count in enumerate(units):
+                keep = self._keep_count(count)
+                if keep < count:
+                    removed.append(f"{count - keep} dense unit(s) from block {block + 1}")
+                new_units.append(keep)
+            hp["units_per_block"] = new_units
+            hp["growth_rate"] = self._narrow(int(hp.get("growth_rate", 6)))
+        else:
+            raise DefectInjectionError(
+                f"structure defect injection does not know architecture kind {kind!r}"
+            )
+
+        if self.narrow_factor < 1.0:
+            removed.append(f"narrowed surviving widths by factor {self.narrow_factor}")
+
+        degraded = {
+            "kind": kind,
+            "input_shape": list(config["input_shape"]),
+            "num_classes": int(config["num_classes"]),
+            "hyperparameters": hp,
+        }
+        report = StructureInjectionReport(
+            model_kind=kind,
+            original_config=dict(config["hyperparameters"]),
+            degraded_config=dict(hp),
+            removed_units=removed,
+            description=self.describe(),
+        )
+        return degraded, report
+
+    # -- model rebuilding --------------------------------------------------------
+
+    def apply(
+        self, model: ClassifierModel, rng: RngLike = None
+    ) -> Tuple[ClassifierModel, StructureInjectionReport]:
+        """Build a freshly-initialized degraded variant of ``model``.
+
+        The degraded model is *untrained*: structure defects act at design
+        time, so the experiment harness trains the degraded architecture on
+        the clean training data, exactly as the paper does.
+        """
+        degraded_config, report = self.apply_to_config(model.config())
+        degraded_model = build_from_config(degraded_config, rng=rng)
+        return degraded_model, report

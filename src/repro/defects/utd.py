@@ -1,0 +1,113 @@
+"""Unreliable-training-data (UTD) defect injection.
+
+The paper injects UTD by "tag[ging] a part of the training data of one class
+to the other" — a systematic labeling mistake.  The network then genuinely
+learns to map part of the source class's input region to the wrong class,
+which is what DeepMorph's footprint analysis later recognizes as "confidently
+executing the wrong class's pattern".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset, class_indices
+from ..exceptions import DefectInjectionError
+from ..rng import RngLike, ensure_rng
+from .spec import DataInjectionReport, DefectType
+
+__all__ = ["UnreliableTrainingData"]
+
+
+class UnreliableTrainingData:
+    """Mislabel a fraction of one class's training examples as another class.
+
+    Parameters
+    ----------
+    source_class:
+        The class whose examples get wrong labels.  ``None`` picks one at
+        injection time.
+    target_class:
+        The wrong label assigned.  ``None`` picks a different class at
+        injection time.
+    fraction:
+        Fraction of the source class's examples to mislabel, in ``(0, 1]``.
+    """
+
+    defect_type = DefectType.UTD
+
+    def __init__(
+        self,
+        source_class: Optional[int] = None,
+        target_class: Optional[int] = None,
+        fraction: float = 0.35,
+    ):
+        if not 0.0 < fraction <= 1.0:
+            raise DefectInjectionError(f"fraction must lie in (0, 1], got {fraction}")
+        if (
+            source_class is not None
+            and target_class is not None
+            and int(source_class) == int(target_class)
+        ):
+            raise DefectInjectionError("source_class and target_class must differ")
+        self.source_class = int(source_class) if source_class is not None else None
+        self.target_class = int(target_class) if target_class is not None else None
+        self.fraction = float(fraction)
+
+    def describe(self) -> str:
+        """One-line description of the injection."""
+        src = self.source_class if self.source_class is not None else "?"
+        dst = self.target_class if self.target_class is not None else "?"
+        return f"UTD: relabel {self.fraction:.0%} of class {src} as class {dst}"
+
+    def apply(
+        self, dataset: ArrayDataset, rng: RngLike = None
+    ) -> Tuple[ArrayDataset, DataInjectionReport]:
+        """Return the corrupted dataset and a report of what was relabeled."""
+        generator = ensure_rng(rng)
+        labels = dataset.labels.copy()
+        per_class = class_indices(labels, dataset.num_classes)
+
+        source = self.source_class
+        if source is None:
+            candidates = [c for c in range(dataset.num_classes) if per_class[c].size > 0]
+            if not candidates:
+                raise DefectInjectionError("dataset has no non-empty classes to corrupt")
+            source = int(generator.choice(candidates))
+        if not 0 <= source < dataset.num_classes:
+            raise DefectInjectionError(
+                f"source class {source} out of range for {dataset.num_classes} classes"
+            )
+        if per_class[source].size == 0:
+            raise DefectInjectionError(f"source class {source} has no examples to relabel")
+
+        target = self.target_class
+        if target is None:
+            others = [c for c in range(dataset.num_classes) if c != source]
+            target = int(generator.choice(others))
+        if not 0 <= target < dataset.num_classes:
+            raise DefectInjectionError(
+                f"target class {target} out of range for {dataset.num_classes} classes"
+            )
+        if target == source:
+            raise DefectInjectionError("source and target class must differ")
+
+        idx = per_class[source]
+        n_relabel = int(np.floor(idx.size * self.fraction))
+        n_relabel = max(n_relabel, 1)
+        chosen = generator.choice(idx, size=n_relabel, replace=False)
+        labels[chosen] = target
+
+        injected = dataset.with_labels(labels, name=f"{dataset.name}[utd]")
+        report = DataInjectionReport(
+            defect_type=DefectType.UTD,
+            original_size=len(dataset),
+            injected_size=len(injected),
+            affected_classes=[source],
+            relabeled_count=int(n_relabel),
+            relabel_map={source: target},
+            description=f"UTD: relabel {self.fraction:.0%} of class {source} as class {target}",
+        )
+        return injected, report

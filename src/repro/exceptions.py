@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro (DeepMorph reproduction) library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can distinguish library failures from
+programming mistakes with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array does not have the shape a component requires.
+
+    Raised, for example, when a layer receives an input whose rank or channel
+    count does not match what the layer was built for, or when labels and
+    inputs disagree on the number of examples.
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed or configured with invalid arguments."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An operation requires a fitted/trained component that is not fitted.
+
+    Raised by probes, pattern libraries, and the :class:`~repro.core.DeepMorph`
+    facade when ``diagnose``-style methods are called before ``fit``.
+    """
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset violates an invariant (empty split, unknown class, ...)."""
+
+
+class DefectInjectionError(ReproError, ValueError):
+    """A defect specification cannot be applied to the given dataset or model."""
+
+
+class SerializationError(ReproError, ValueError):
+    """An artifact could not be saved or loaded."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment harness failed to produce a result."""

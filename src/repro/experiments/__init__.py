@@ -1,0 +1,29 @@
+"""Experiment harness: Table I reproduction, presets, and weight calibration."""
+
+from .calibrate import CalibrationExample, calibrate, collect_examples, describe_weights, fit_weights
+from .config import MODEL_DATASETS, PRESETS, ExperimentSettings, model_hyperparameters, preset
+from .runner import CellResult, make_dataset, make_model, run_cell, train_model
+from .table1 import PAPER_TABLE1, Table1Result, Table1Row, format_table1, run_table1
+
+__all__ = [
+    "ExperimentSettings",
+    "MODEL_DATASETS",
+    "PRESETS",
+    "preset",
+    "model_hyperparameters",
+    "CellResult",
+    "run_cell",
+    "make_dataset",
+    "make_model",
+    "train_model",
+    "Table1Row",
+    "Table1Result",
+    "run_table1",
+    "format_table1",
+    "PAPER_TABLE1",
+    "CalibrationExample",
+    "collect_examples",
+    "fit_weights",
+    "calibrate",
+    "describe_weights",
+]

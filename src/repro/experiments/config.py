@@ -1,0 +1,153 @@
+"""Experiment configuration.
+
+One :class:`ExperimentSettings` object describes everything needed to run one
+defect-injection experiment cell: dataset, model, training budget, probe
+budget, and the defect-injection parameters.  Presets (`paper`, `default`,
+`quick`, `smoke`) trade fidelity against CPU time; the benchmark harness uses
+`default`, the unit tests use `smoke`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["ExperimentSettings", "MODEL_DATASETS", "PRESETS", "preset", "model_hyperparameters"]
+
+#: The dataset each model family is evaluated on in the paper's Table I.
+MODEL_DATASETS: Dict[str, str] = {
+    "lenet": "mnist",
+    "alexnet": "mnist",
+    "resnet": "cifar",
+    "densenet": "cifar",
+}
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """All knobs of one defect-injection experiment.
+
+    Attributes
+    ----------
+    dataset:
+        ``"mnist"`` (synthetic MNIST stand-in) or ``"cifar"`` (synthetic
+        CIFAR-10 stand-in).
+    model:
+        Model-zoo architecture name.
+    train_per_class, test_per_class:
+        Number of training / production examples per class.
+    epochs, batch_size, learning_rate:
+        Training budget of the target model.
+    probe_epochs:
+        Training budget of the auxiliary softmax probes.
+    seed:
+        Master seed; every stochastic component derives its own seed from it.
+    itd_affected_classes, itd_keep_fraction:
+        ITD injection: how many classes are starved and what fraction of their
+        data survives.
+    utd_fraction:
+        UTD injection: fraction of the source class that is mislabeled.
+    sd_keep_fraction, sd_narrow_factor:
+        SD injection: fraction of conv stages/blocks kept and width multiplier.
+    model_scale:
+        ``"scaled"`` (CPU-sized architectures, the default) or ``"paper"``
+        (ResNet-34 / DenseNet-40 sized variants — slow on CPU).
+    """
+
+    dataset: str = "mnist"
+    model: str = "lenet"
+    train_per_class: int = 100
+    test_per_class: int = 40
+    epochs: int = 20
+    batch_size: int = 32
+    learning_rate: float = 0.01
+    probe_epochs: int = 12
+    seed: int = 2021
+    itd_affected_classes: int = 3
+    itd_keep_fraction: float = 0.08
+    utd_fraction: float = 0.55
+    sd_keep_fraction: float = 0.30
+    sd_narrow_factor: float = 0.40
+    model_scale: str = "scaled"
+
+    def __post_init__(self):
+        if self.dataset not in ("mnist", "cifar"):
+            raise ConfigurationError(f"dataset must be 'mnist' or 'cifar', got {self.dataset!r}")
+        if self.model not in MODEL_DATASETS:
+            raise ConfigurationError(
+                f"model must be one of {sorted(MODEL_DATASETS)}, got {self.model!r}"
+            )
+        if self.train_per_class <= 0 or self.test_per_class <= 0:
+            raise ConfigurationError("per-class example counts must be positive")
+        if self.epochs <= 0 or self.batch_size <= 0 or self.probe_epochs <= 0:
+            raise ConfigurationError("training budgets must be positive")
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if self.model_scale not in ("scaled", "paper"):
+            raise ConfigurationError(
+                f"model_scale must be 'scaled' or 'paper', got {self.model_scale!r}"
+            )
+
+    def for_model(self, model: str) -> "ExperimentSettings":
+        """The same settings retargeted at ``model`` (and its paper dataset)."""
+        return replace(self, model=model, dataset=MODEL_DATASETS[model])
+
+    def with_seed(self, seed: int) -> "ExperimentSettings":
+        """The same settings with a different master seed."""
+        return replace(self, seed=int(seed))
+
+
+def model_hyperparameters(model: str, scale: str = "scaled") -> Dict:
+    """Architecture hyperparameters used by the experiment harness.
+
+    ``scale="scaled"`` returns CPU-sized variants that preserve each family's
+    structure; ``scale="paper"`` returns the layer counts reported in the
+    paper (ResNet-34 block layout, DenseNet-40 unit layout) — far slower on
+    CPU but structurally faithful.
+    """
+    scaled = {
+        "lenet": {"conv_channels": [6, 16], "dense_units": [120, 84], "kernel_size": 5},
+        "alexnet": {
+            "conv_channels": [16, 32, 48, 48, 32],
+            "dense_units": [96, 64],
+            "dropout": 0.2,
+            "use_batchnorm": True,
+        },
+        "resnet": {"base_channels": 12, "block_counts": [2, 2, 2]},
+        "densenet": {"growth_rate": 6, "units_per_block": [2, 2, 2], "compression": 0.5},
+    }
+    paper = {
+        "lenet": scaled["lenet"],
+        "alexnet": scaled["alexnet"],
+        "resnet": {"base_channels": 16, "block_counts": [3, 4, 6, 3]},
+        "densenet": {"growth_rate": 12, "units_per_block": [12, 12, 12], "compression": 0.5},
+    }
+    table = scaled if scale == "scaled" else paper
+    if model not in table:
+        raise ConfigurationError(f"unknown model {model!r}; available: {sorted(table)}")
+    return dict(table[model])
+
+
+PRESETS: Dict[str, ExperimentSettings] = {
+    # Full benchmark preset used by the Table I reproduction.
+    "default": ExperimentSettings(),
+    # Faster preset for iterating on the harness.
+    "quick": ExperimentSettings(train_per_class=60, test_per_class=30, epochs=12, probe_epochs=8),
+    # Minimal preset used by the integration tests (seconds, not minutes).
+    "smoke": ExperimentSettings(
+        train_per_class=12, test_per_class=8, epochs=3, probe_epochs=3, batch_size=16
+    ),
+    # Paper-scale architectures (slow; provided for completeness).
+    "paper": ExperimentSettings(
+        train_per_class=120, test_per_class=60, epochs=24, model_scale="paper"
+    ),
+}
+
+
+def preset(name: str) -> ExperimentSettings:
+    """Look up a preset by name."""
+    if name not in PRESETS:
+        raise ConfigurationError(f"unknown preset {name!r}; available: {sorted(PRESETS)}")
+    return PRESETS[name]

@@ -1,0 +1,22 @@
+"""Model zoo: the four architecture families used in the paper's evaluation."""
+
+from .alexnet import AlexNet
+from .base import ClassifierModel
+from .densenet import DENSENET40_UNITS, DenseNet
+from .lenet import LeNet
+from .registry import MODEL_REGISTRY, available_models, build_from_config, build_model
+from .resnet import RESNET34_BLOCK_COUNTS, ResNet
+
+__all__ = [
+    "ClassifierModel",
+    "LeNet",
+    "AlexNet",
+    "ResNet",
+    "DenseNet",
+    "RESNET34_BLOCK_COUNTS",
+    "DENSENET40_UNITS",
+    "MODEL_REGISTRY",
+    "build_model",
+    "build_from_config",
+    "available_models",
+]

@@ -1,0 +1,124 @@
+"""AlexNet-family convolutional classifier.
+
+The paper uses AlexNet (8 weight layers) as its larger MNIST model.  This
+implementation keeps the family's signature — a deeper stack of convolution
+stages, pooling concentrated early and late, and a two-layer dense classifier
+with dropout — while scaling channel widths for CPU-sized workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from ..rng import RngLike, ensure_rng, spawn
+from ..nn.layers import (
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from .base import ClassifierModel
+
+__all__ = ["AlexNet"]
+
+
+class AlexNet(ClassifierModel):
+    """Scaled AlexNet: five convolution stages and a dropout-regularized dense head.
+
+    Parameters
+    ----------
+    conv_channels:
+        Output channels of the convolution stages (the original has five).
+    dense_units:
+        Hidden sizes of the dense stages before the logits.
+    pool_after:
+        Indices (0-based) of convolution stages followed by 2×2 max pooling.
+        Pooling is skipped automatically once the spatial size drops below 4.
+    dropout:
+        Dropout rate of the dense stages.
+    """
+
+    KIND = "alexnet"
+
+    def __init__(
+        self,
+        input_shape: Tuple[int, int, int] = (1, 14, 14),
+        num_classes: int = 10,
+        conv_channels: Sequence[int] = (16, 32, 48, 48, 32),
+        dense_units: Sequence[int] = (64, 64),
+        pool_after: Sequence[int] = (0, 1, 4),
+        kernel_size: int = 3,
+        dropout: float = 0.3,
+        use_batchnorm: bool = False,
+        rng: RngLike = None,
+        name: Optional[str] = None,
+    ):
+        if len(input_shape) != 3:
+            raise ConfigurationError(f"input_shape must be (C, H, W), got {input_shape}")
+        conv_channels = tuple(int(c) for c in conv_channels)
+        dense_units = tuple(int(u) for u in dense_units)
+        pool_after = tuple(int(i) for i in pool_after)
+        if any(c <= 0 for c in conv_channels) or any(u <= 0 for u in dense_units):
+            raise ConfigurationError("channel and unit counts must be positive")
+        if not dense_units:
+            raise ConfigurationError("AlexNet needs at least one dense stage before the logits")
+        if not 0.0 <= dropout < 1.0:
+            raise ConfigurationError(f"dropout must lie in [0, 1), got {dropout}")
+
+        generator = ensure_rng(rng)
+        rngs = spawn(generator, len(conv_channels) + 2 * len(dense_units) + 1)
+        rng_iter = iter(rngs)
+
+        stages = Sequential(name="stages")
+        shape = tuple(int(d) for d in input_shape)
+
+        in_channels = shape[0]
+        for i, out_channels in enumerate(conv_channels):
+            stage_layers = [
+                Conv2D(in_channels, out_channels, kernel_size, stride=1, padding="same",
+                       rng=next(rng_iter), name="conv"),
+            ]
+            if use_batchnorm:
+                stage_layers.append(BatchNorm2D(out_channels, name="bn"))
+            stage_layers.append(ReLU(name="relu"))
+            if i in pool_after and shape[1] >= 4 and shape[2] >= 4:
+                stage_layers.append(MaxPool2D(2, name="pool"))
+            stage = Sequential(stage_layers, name=f"conv{i + 1}")
+            stages.append(stage)
+            shape = stage.output_shape(shape)
+            in_channels = out_channels
+
+        stages.append(Flatten(name="flatten"))
+        in_features = 1
+        for dim in shape:
+            in_features *= int(dim)
+
+        for i, units in enumerate(dense_units):
+            stage_layers = [Dense(in_features, units, rng=next(rng_iter), name="fc"), ReLU(name="relu")]
+            if dropout > 0:
+                stage_layers.append(Dropout(dropout, rng=next(rng_iter), name="drop"))
+            stages.append(Sequential(stage_layers, name=f"fc{i + 1}"))
+            in_features = units
+
+        stages.append(Dense(in_features, num_classes, rng=next(rng_iter), name="logits"))
+
+        super().__init__(
+            stages=stages,
+            input_shape=input_shape,
+            num_classes=num_classes,
+            kind=self.KIND,
+            hyperparameters={
+                "conv_channels": list(conv_channels),
+                "dense_units": list(dense_units),
+                "pool_after": list(pool_after),
+                "kernel_size": kernel_size,
+                "dropout": dropout,
+                "use_batchnorm": use_batchnorm,
+            },
+            name=name,
+        )

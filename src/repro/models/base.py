@@ -1,0 +1,140 @@
+"""Base class shared by the model zoo.
+
+A :class:`ClassifierModel` is a :class:`~repro.nn.layers.Sequential` of named
+*stages* whose final stage produces class logits.  Stages are the unit of
+DeepMorph's data-flow analysis: ``forward_collect`` returns each stage's
+output, and ``hidden_layer_names`` lists the stages that receive auxiliary
+softmax probes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from ..nn import functional as F
+from ..nn.layers import Sequential
+from ..nn.module import Layer
+
+__all__ = ["ClassifierModel"]
+
+
+class ClassifierModel(Layer):
+    """A classification network composed of named sequential stages.
+
+    Parameters
+    ----------
+    stages:
+        The ordered stages.  The last stage must emit logits of shape
+        ``(batch, num_classes)``.
+    input_shape:
+        Shape of one input example, e.g. ``(1, 14, 14)``.
+    num_classes:
+        Number of target classes.
+    kind:
+        Registry name of the architecture (``"lenet"``, ``"resnet"``, ...).
+    hyperparameters:
+        The constructor keyword arguments needed to rebuild the same
+        architecture (used by serialization and structure-defect injection).
+    """
+
+    def __init__(
+        self,
+        stages: Sequential,
+        input_shape: Tuple[int, ...],
+        num_classes: int,
+        kind: str,
+        hyperparameters: Optional[Dict] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name or kind)
+        if num_classes < 2:
+            raise ConfigurationError(f"num_classes must be >= 2, got {num_classes}")
+        if len(stages) < 2:
+            raise ConfigurationError("a classifier model needs at least two stages")
+        self.stages = self.add_child(stages)
+        self.input_shape = tuple(int(d) for d in input_shape)
+        self.num_classes = int(num_classes)
+        self.kind = str(kind)
+        self.hyperparameters: Dict = dict(hyperparameters or {})
+
+    # -- computation ---------------------------------------------------------
+
+    def _check_input(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != len(self.input_shape) + 1:
+            raise ShapeError(
+                f"{self.kind} expects batched inputs of shape (n, {', '.join(map(str, self.input_shape))}), "
+                f"got shape {x.shape}"
+            )
+        if tuple(x.shape[1:]) != self.input_shape:
+            raise ShapeError(
+                f"{self.kind} was built for inputs of shape {self.input_shape}, got {tuple(x.shape[1:])}"
+            )
+        return x
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Return logits of shape ``(batch, num_classes)``."""
+        return self.stages.forward(self._check_input(x))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.stages.backward(grad_out)
+
+    def forward_collect(self, x: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Forward pass that also returns the output of every stage by name."""
+        return self.stages.forward_with_activations(self._check_input(x))
+
+    # -- prediction helpers ----------------------------------------------------
+
+    def predict_logits(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Logits computed in inference mode, batched to bound memory."""
+        x = self._check_input(x)
+        was_training = self.training
+        self.eval()
+        try:
+            outputs: List[np.ndarray] = []
+            for start in range(0, x.shape[0], batch_size):
+                outputs.append(self.stages.forward(x[start:start + batch_size]))
+            return np.concatenate(outputs, axis=0) if outputs else np.zeros((0, self.num_classes))
+        finally:
+            self.train(was_training)
+
+    def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Softmax class probabilities."""
+        return F.softmax(self.predict_logits(x, batch_size=batch_size), axis=1)
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Predicted class ids."""
+        return self.predict_logits(x, batch_size=batch_size).argmax(axis=1)
+
+    # -- introspection -----------------------------------------------------------
+
+    def stage_names(self) -> List[str]:
+        """Names of all stages, in execution order."""
+        return self.stages.layer_names()
+
+    def hidden_layer_names(self) -> List[str]:
+        """Names of the stages DeepMorph instruments (every stage but the final logits)."""
+        return self.stage_names()[:-1]
+
+    def output_layer_name(self) -> str:
+        """Name of the final (logit-producing) stage."""
+        return self.stage_names()[-1]
+
+    def config(self) -> Dict:
+        """Everything needed to rebuild an architecturally identical model."""
+        return {
+            "kind": self.kind,
+            "input_shape": list(self.input_shape),
+            "num_classes": self.num_classes,
+            "hyperparameters": dict(self.hyperparameters),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(kind={self.kind!r}, input_shape={self.input_shape}, "
+            f"classes={self.num_classes}, stages={len(self.stages)}, "
+            f"params={self.num_parameters()})"
+        )

@@ -1,0 +1,133 @@
+"""LeNet-family convolutional classifier.
+
+The paper uses LeNet (5 weight layers) as its small MNIST model.  This
+implementation keeps the classic conv-pool-conv-pool-fc-fc-fc structure but
+parameterizes the channel widths and dense sizes so the architecture scales
+down to the synthetic workloads, and so structure-defect injection can remove
+convolution stages (see :mod:`repro.defects.structure`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from ..rng import RngLike, ensure_rng, spawn
+from ..nn.layers import (
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from .base import ClassifierModel
+
+__all__ = ["LeNet"]
+
+
+class LeNet(ClassifierModel):
+    """LeNet-style CNN: alternating conv/pool stages followed by dense layers.
+
+    Parameters
+    ----------
+    input_shape:
+        ``(channels, height, width)`` of one input image.
+    num_classes:
+        Number of target classes.
+    conv_channels:
+        Output channels of each convolution stage.  An empty tuple produces a
+        pure multi-layer perceptron (the most extreme structure defect).
+    dense_units:
+        Hidden sizes of the fully-connected stages before the logits.
+    kernel_size:
+        Convolution kernel size.
+    use_batchnorm:
+        Whether convolution stages include batch normalization.
+    dropout:
+        Dropout rate applied after each dense stage (0 disables).
+    """
+
+    KIND = "lenet"
+
+    def __init__(
+        self,
+        input_shape: Tuple[int, int, int] = (1, 14, 14),
+        num_classes: int = 10,
+        conv_channels: Sequence[int] = (6, 16),
+        dense_units: Sequence[int] = (120, 84),
+        kernel_size: int = 5,
+        use_batchnorm: bool = False,
+        dropout: float = 0.0,
+        rng: RngLike = None,
+        name: Optional[str] = None,
+    ):
+        if len(input_shape) != 3:
+            raise ConfigurationError(f"input_shape must be (C, H, W), got {input_shape}")
+        conv_channels = tuple(int(c) for c in conv_channels)
+        dense_units = tuple(int(u) for u in dense_units)
+        if any(c <= 0 for c in conv_channels) or any(u <= 0 for u in dense_units):
+            raise ConfigurationError("channel and unit counts must be positive")
+        if not dense_units:
+            raise ConfigurationError("LeNet needs at least one dense stage before the logits")
+
+        generator = ensure_rng(rng)
+        rngs = spawn(generator, len(conv_channels) + len(dense_units) + 1)
+        rng_iter = iter(rngs)
+
+        stages = Sequential(name="stages")
+        shape = tuple(int(d) for d in input_shape)
+
+        in_channels = shape[0]
+        for i, out_channels in enumerate(conv_channels):
+            stage_layers = [
+                Conv2D(in_channels, out_channels, kernel_size, stride=1, padding="same",
+                       rng=next(rng_iter), name="conv"),
+            ]
+            if use_batchnorm:
+                stage_layers.append(BatchNorm2D(out_channels, name="bn"))
+            stage_layers.append(ReLU(name="relu"))
+            # Pool while the spatial resolution can still afford it.
+            if shape[1] >= 4 and shape[2] >= 4:
+                stage_layers.append(MaxPool2D(2, name="pool"))
+            stage = Sequential(stage_layers, name=f"conv{i + 1}")
+            stages.append(stage)
+            shape = stage.output_shape(shape)
+            in_channels = out_channels
+
+        stages.append(Flatten(name="flatten"))
+        shape = (int(_prod(shape)),)
+
+        in_features = shape[0]
+        for i, units in enumerate(dense_units):
+            stage_layers = [Dense(in_features, units, rng=next(rng_iter), name="fc"), ReLU(name="relu")]
+            if dropout > 0:
+                stage_layers.append(Dropout(dropout, rng=next(iter(spawn(generator, 1))), name="drop"))
+            stages.append(Sequential(stage_layers, name=f"fc{i + 1}"))
+            in_features = units
+
+        stages.append(Dense(in_features, num_classes, rng=next(rng_iter), name="logits"))
+
+        super().__init__(
+            stages=stages,
+            input_shape=input_shape,
+            num_classes=num_classes,
+            kind=self.KIND,
+            hyperparameters={
+                "conv_channels": list(conv_channels),
+                "dense_units": list(dense_units),
+                "kernel_size": kernel_size,
+                "use_batchnorm": use_batchnorm,
+                "dropout": dropout,
+            },
+            name=name,
+        )
+
+
+def _prod(shape: Sequence[int]) -> int:
+    total = 1
+    for dim in shape:
+        total *= int(dim)
+    return total

@@ -1,0 +1,69 @@
+"""Model registry: build any model-zoo architecture from its name and config.
+
+The registry is the single place where architecture names map to classes.  It
+serves three clients: the CLI (``--model lenet``), serialization (rebuilding a
+model from its saved config), and structure-defect injection (rebuilding a
+*degraded* variant of a model from a modified config).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from ..exceptions import ConfigurationError
+from ..rng import RngLike
+from .alexnet import AlexNet
+from .base import ClassifierModel
+from .densenet import DenseNet
+from .lenet import LeNet
+from .resnet import ResNet
+
+__all__ = ["MODEL_REGISTRY", "build_model", "build_from_config", "available_models"]
+
+MODEL_REGISTRY: Dict[str, Type[ClassifierModel]] = {
+    LeNet.KIND: LeNet,
+    AlexNet.KIND: AlexNet,
+    ResNet.KIND: ResNet,
+    DenseNet.KIND: DenseNet,
+}
+
+
+def available_models() -> Tuple[str, ...]:
+    """Names of all registered architectures."""
+    return tuple(sorted(MODEL_REGISTRY))
+
+
+def build_model(
+    kind: str,
+    input_shape: Tuple[int, int, int],
+    num_classes: int,
+    rng: RngLike = None,
+    **hyperparameters,
+) -> ClassifierModel:
+    """Instantiate the architecture registered under ``kind``."""
+    key = kind.lower()
+    if key not in MODEL_REGISTRY:
+        raise ConfigurationError(
+            f"unknown model kind {kind!r}; available: {list(available_models())}"
+        )
+    cls = MODEL_REGISTRY[key]
+    return cls(
+        input_shape=tuple(input_shape),
+        num_classes=int(num_classes),
+        rng=rng,
+        **hyperparameters,
+    )
+
+
+def build_from_config(config: Dict, rng: RngLike = None) -> ClassifierModel:
+    """Rebuild a model from the dict produced by :meth:`ClassifierModel.config`."""
+    missing = {"kind", "input_shape", "num_classes"} - set(config)
+    if missing:
+        raise ConfigurationError(f"model config is missing keys: {sorted(missing)}")
+    return build_model(
+        config["kind"],
+        tuple(config["input_shape"]),
+        int(config["num_classes"]),
+        rng=rng,
+        **dict(config.get("hyperparameters", {})),
+    )

@@ -1,0 +1,103 @@
+"""Numpy deep-learning substrate: layers, losses, metrics, initializers.
+
+This package re-implements, from scratch and on top of numpy, the subset of a
+deep-learning framework that the DeepMorph reproduction needs: layer-wise
+forward/backward computation, parameter management, classification losses and
+metrics.  It deliberately exposes every intermediate activation — the raw
+material of data-flow footprints.
+"""
+
+from . import functional
+from .initializers import (
+    Constant,
+    GlorotNormal,
+    GlorotUniform,
+    HeNormal,
+    HeUniform,
+    Initializer,
+    Ones,
+    RandomNormal,
+    RandomUniform,
+    Zeros,
+    get_initializer,
+)
+from .layers import (
+    AvgPool2D,
+    BatchNorm1D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    DenseBlock,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    TransitionLayer,
+)
+from .losses import Loss, MeanSquaredError, NegativeLogLikelihood, SoftmaxCrossEntropy, get_loss
+from .metrics import (
+    accuracy,
+    confusion_matrix,
+    error_cases,
+    per_class_accuracy,
+    precision_recall_f1,
+    top_k_accuracy,
+)
+from .module import Layer, Parameter
+
+__all__ = [
+    "functional",
+    "Layer",
+    "Parameter",
+    # layers
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "BatchNorm1D",
+    "BatchNorm2D",
+    "Dropout",
+    "Flatten",
+    "Sequential",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "ResidualBlock",
+    "DenseBlock",
+    "TransitionLayer",
+    # initializers
+    "Initializer",
+    "Zeros",
+    "Ones",
+    "Constant",
+    "RandomNormal",
+    "RandomUniform",
+    "GlorotUniform",
+    "GlorotNormal",
+    "HeNormal",
+    "HeUniform",
+    "get_initializer",
+    # losses
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "NegativeLogLikelihood",
+    "MeanSquaredError",
+    "get_loss",
+    # metrics
+    "accuracy",
+    "top_k_accuracy",
+    "per_class_accuracy",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "error_cases",
+]

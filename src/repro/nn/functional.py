@@ -1,0 +1,346 @@
+"""Numerical primitives shared by the neural-network layers.
+
+This module is the computational core of the substrate: pure functions over
+numpy arrays with no state.  Layers in :mod:`repro.nn.layers` are thin
+stateful wrappers that call into these functions for both the forward and the
+backward pass.
+
+Conventions
+-----------
+* Images are ``NCHW``: ``(batch, channels, height, width)``.
+* Dense activations are ``(batch, features)``.
+* All functions are float64-tolerant but default to float64 output when given
+  float64 input; the layers standardize on float64 for gradient-check
+  friendliness (the workloads are small by design).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+__all__ = [
+    "relu",
+    "relu_grad",
+    "leaky_relu",
+    "leaky_relu_grad",
+    "sigmoid",
+    "sigmoid_grad",
+    "tanh",
+    "tanh_grad",
+    "softmax",
+    "log_softmax",
+    "one_hot",
+    "im2col",
+    "col2im",
+    "conv2d_forward",
+    "conv2d_backward",
+    "maxpool2d_forward",
+    "maxpool2d_backward",
+    "avgpool2d_forward",
+    "avgpool2d_backward",
+    "pad_nchw",
+    "conv_output_size",
+]
+
+
+# ---------------------------------------------------------------------------
+# Activations
+# ---------------------------------------------------------------------------
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit, ``max(x, 0)``."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    """Gradient of :func:`relu` with respect to its input."""
+    return grad_out * (x > 0.0)
+
+
+def leaky_relu(x: np.ndarray, negative_slope: float = 0.01) -> np.ndarray:
+    """Leaky ReLU: identity for positive values, ``negative_slope * x`` otherwise."""
+    return np.where(x > 0.0, x, negative_slope * x)
+
+
+def leaky_relu_grad(x: np.ndarray, grad_out: np.ndarray, negative_slope: float = 0.01) -> np.ndarray:
+    """Gradient of :func:`leaky_relu` with respect to its input."""
+    return grad_out * np.where(x > 0.0, 1.0, negative_slope)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.result_type(x, np.float64))
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def sigmoid_grad(y: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    """Gradient of sigmoid given its *output* ``y = sigmoid(x)``."""
+    return grad_out * y * (1.0 - y)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent."""
+    return np.tanh(x)
+
+
+def tanh_grad(y: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    """Gradient of tanh given its *output* ``y = tanh(x)``."""
+    return grad_out * (1.0 - y * y)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer ``labels`` as a ``(n, num_classes)`` one-hot matrix."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ShapeError(
+            f"labels must lie in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Convolution via im2col
+# ---------------------------------------------------------------------------
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution produces non-positive output size: input={size}, "
+            f"kernel={kernel}, stride={stride}, pad={pad}"
+        )
+    return out
+
+
+def pad_nchw(x: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad the two spatial dimensions of an NCHW tensor."""
+    if pad == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+
+
+def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, pad: int) -> np.ndarray:
+    """Rearrange image patches into a matrix for convolution-as-matmul.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    ``(N * out_h * out_w, C * kernel_h * kernel_w)`` matrix where each row is
+    one receptive field.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"im2col expects NCHW input, got shape {x.shape}")
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+
+    img = pad_nchw(x, pad)
+    col = np.zeros((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
+    for ky in range(kernel_h):
+        y_max = ky + stride * out_h
+        for kx in range(kernel_w):
+            x_max = kx + stride * out_w
+            col[:, :, ky, kx, :, :] = img[:, :, ky:y_max:stride, kx:x_max:stride]
+
+    return col.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+
+
+def col2im(
+    col: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add column gradients back to image space."""
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+    col = col.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(0, 3, 4, 5, 1, 2)
+
+    img = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=col.dtype)
+    for ky in range(kernel_h):
+        y_max = ky + stride * out_h
+        for kx in range(kernel_w):
+            x_max = kx + stride * out_w
+            img[:, :, ky:y_max:stride, kx:x_max:stride] += col[:, :, ky, kx, :, :]
+
+    if pad == 0:
+        return img
+    return img[:, :, pad:-pad, pad:-pad]
+
+
+def conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    pad: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """2-D convolution forward pass.
+
+    Parameters
+    ----------
+    x:
+        ``(N, C_in, H, W)`` input.
+    weight:
+        ``(C_out, C_in, KH, KW)`` filters.
+    bias:
+        Optional ``(C_out,)`` bias.
+
+    Returns
+    -------
+    ``(output, col)`` where ``col`` is the im2col matrix cached for the
+    backward pass.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"conv2d expects NCHW input, got shape {x.shape}")
+    if weight.ndim != 4:
+        raise ShapeError(f"conv2d expects OIHW weights, got shape {weight.shape}")
+    if x.shape[1] != weight.shape[1]:
+        raise ShapeError(
+            f"input has {x.shape[1]} channels but weight expects {weight.shape[1]}"
+        )
+    n, _, h, w = x.shape
+    c_out, _, kh, kw = weight.shape
+    out_h = conv_output_size(h, kh, stride, pad)
+    out_w = conv_output_size(w, kw, stride, pad)
+
+    col = im2col(x, kh, kw, stride, pad)
+    w_mat = weight.reshape(c_out, -1).T  # (C_in*KH*KW, C_out)
+    out = col @ w_mat
+    if bias is not None:
+        out = out + bias
+    out = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+    return out, col
+
+
+def conv2d_backward(
+    grad_out: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    col: np.ndarray,
+    weight: np.ndarray,
+    stride: int,
+    pad: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """2-D convolution backward pass.
+
+    Returns ``(grad_input, grad_weight, grad_bias)``.
+    """
+    c_out, c_in, kh, kw = weight.shape
+    grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, c_out)
+
+    grad_bias = grad_flat.sum(axis=0)
+    grad_weight = (col.T @ grad_flat).T.reshape(c_out, c_in, kh, kw)
+    grad_col = grad_flat @ weight.reshape(c_out, -1)
+    grad_input = col2im(grad_col, x_shape, kh, kw, stride, pad)
+    return grad_input, grad_weight, grad_bias
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+
+def maxpool2d_forward(
+    x: np.ndarray, kernel: int, stride: int, pad: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Max pooling forward pass.
+
+    Returns ``(output, argmax)`` where ``argmax`` records, per output
+    position, which element of the receptive field was selected (needed to
+    route gradients in the backward pass).
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"maxpool2d expects NCHW input, got shape {x.shape}")
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, pad)
+    out_w = conv_output_size(w, kernel, stride, pad)
+
+    col = im2col(x, kernel, kernel, stride, pad).reshape(n * out_h * out_w, c, kernel * kernel)
+    argmax = col.argmax(axis=2)
+    out = col.max(axis=2)
+    out = out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+    return out, argmax
+
+
+def maxpool2d_backward(
+    grad_out: np.ndarray,
+    argmax: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int = 0,
+) -> np.ndarray:
+    """Max pooling backward pass: route each gradient to its argmax position."""
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kernel, stride, pad)
+    out_w = conv_output_size(w, kernel, stride, pad)
+
+    grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c)
+    grad_col = np.zeros((n * out_h * out_w, c, kernel * kernel), dtype=grad_out.dtype)
+    rows = np.arange(grad_col.shape[0])[:, None]
+    cols = np.arange(c)[None, :]
+    grad_col[rows, cols, argmax] = grad_flat
+    grad_col = grad_col.reshape(n * out_h * out_w, c * kernel * kernel)
+    return col2im(grad_col, x_shape, kernel, kernel, stride, pad)
+
+
+def avgpool2d_forward(x: np.ndarray, kernel: int, stride: int, pad: int = 0) -> np.ndarray:
+    """Average pooling forward pass."""
+    if x.ndim != 4:
+        raise ShapeError(f"avgpool2d expects NCHW input, got shape {x.shape}")
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, pad)
+    out_w = conv_output_size(w, kernel, stride, pad)
+    col = im2col(x, kernel, kernel, stride, pad).reshape(n * out_h * out_w, c, kernel * kernel)
+    out = col.mean(axis=2)
+    return out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+
+
+def avgpool2d_backward(
+    grad_out: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int = 0,
+) -> np.ndarray:
+    """Average pooling backward pass: spread each gradient evenly over its window."""
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kernel, stride, pad)
+    out_w = conv_output_size(w, kernel, stride, pad)
+    grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c)
+    grad_col = np.repeat(grad_flat[:, :, None] / (kernel * kernel), kernel * kernel, axis=2)
+    grad_col = grad_col.reshape(n * out_h * out_w, c * kernel * kernel)
+    return col2im(grad_col, x_shape, kernel, kernel, stride, pad)

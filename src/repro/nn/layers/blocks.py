@@ -1,0 +1,263 @@
+"""Composite blocks used by the ResNet- and DenseNet-family models.
+
+Blocks are composite :class:`~repro.nn.module.Layer` objects: they own child
+layers and orchestrate branching data flow (skip connections, feature
+concatenation) in their forward/backward passes.  A model built from blocks
+still exposes a flat, ordered list of stages to DeepMorph's instrumentation —
+each block counts as one "hidden layer" in the paper's sense.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ...exceptions import ConfigurationError
+from ...rng import RngLike, ensure_rng, spawn
+from .. import functional as F
+from ..module import Layer
+from .activations import ReLU
+from .conv import Conv2D
+from .container import Sequential
+from .normalization import BatchNorm2D
+from .pooling import AvgPool2D
+
+__all__ = ["ResidualBlock", "DenseBlock", "TransitionLayer"]
+
+
+class ResidualBlock(Layer):
+    """Basic residual block: ``relu(conv-bn-relu-conv-bn(x) + shortcut(x))``.
+
+    When the block changes the channel count or the stride, the shortcut is a
+    1×1 convolution followed by batch norm (the "projection shortcut" of the
+    original ResNet paper); otherwise it is the identity.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        use_batchnorm: bool = True,
+        rng: RngLike = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if in_channels <= 0 or out_channels <= 0:
+            raise ConfigurationError(
+                f"ResidualBlock requires positive channel counts, got "
+                f"in={in_channels}, out={out_channels}"
+            )
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.stride = int(stride)
+        self.use_batchnorm = bool(use_batchnorm)
+
+        rngs = spawn(ensure_rng(rng), 3)
+
+        main_layers: List[Layer] = [
+            Conv2D(in_channels, out_channels, 3, stride=stride, padding=1,
+                   use_bias=not use_batchnorm, rng=rngs[0], name="conv1"),
+        ]
+        if use_batchnorm:
+            main_layers.append(BatchNorm2D(out_channels, name="bn1"))
+        main_layers.append(ReLU(name="relu1"))
+        main_layers.append(
+            Conv2D(out_channels, out_channels, 3, stride=1, padding=1,
+                   use_bias=not use_batchnorm, rng=rngs[1], name="conv2")
+        )
+        if use_batchnorm:
+            main_layers.append(BatchNorm2D(out_channels, name="bn2"))
+        self.main = self.add_child(Sequential(main_layers, name="main"))
+
+        self.shortcut: Optional[Sequential] = None
+        if stride != 1 or in_channels != out_channels:
+            shortcut_layers: List[Layer] = [
+                Conv2D(in_channels, out_channels, 1, stride=stride, padding=0,
+                       use_bias=not use_batchnorm, rng=rngs[2], name="conv_proj"),
+            ]
+            if use_batchnorm:
+                shortcut_layers.append(BatchNorm2D(out_channels, name="bn_proj"))
+            self.shortcut = self.add_child(Sequential(shortcut_layers, name="shortcut"))
+
+        self._pre_activation: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        main_out = self.main.forward(x)
+        residual = self.shortcut.forward(x) if self.shortcut is not None else x
+        pre_act = main_out + residual
+        self._pre_activation = pre_act
+        return F.relu(pre_act)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._pre_activation is None:
+            raise RuntimeError("backward called before forward on ResidualBlock")
+        grad_pre = F.relu_grad(self._pre_activation, np.asarray(grad_out, dtype=np.float64))
+        grad_main = self.main.backward(grad_pre)
+        if self.shortcut is not None:
+            grad_shortcut = self.shortcut.backward(grad_pre)
+        else:
+            grad_shortcut = grad_pre
+        return grad_main + grad_shortcut
+
+    def output_shape(self, input_shape):
+        return self.main.output_shape(tuple(input_shape))
+
+    def __repr__(self) -> str:
+        return (
+            f"ResidualBlock(in={self.in_channels}, out={self.out_channels}, "
+            f"stride={self.stride}, name={self.name!r})"
+        )
+
+
+class _DenseUnit(Layer):
+    """One BN-ReLU-Conv unit inside a :class:`DenseBlock`.
+
+    Produces ``growth_rate`` new feature maps which the block concatenates
+    onto its running feature stack.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        growth_rate: int,
+        use_batchnorm: bool = True,
+        rng: RngLike = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        layers: List[Layer] = []
+        if use_batchnorm:
+            layers.append(BatchNorm2D(in_channels, name="bn"))
+        layers.append(ReLU(name="relu"))
+        layers.append(
+            Conv2D(in_channels, growth_rate, 3, stride=1, padding=1,
+                   use_bias=not use_batchnorm, rng=rng, name="conv")
+        )
+        self.body = self.add_child(Sequential(layers, name="body"))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.body.forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.body.backward(grad_out)
+
+
+class DenseBlock(Layer):
+    """DenseNet block: every unit sees the concatenation of all previous outputs.
+
+    With ``num_units`` units and growth rate ``k``, an input with ``C``
+    channels produces an output with ``C + num_units * k`` channels.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        growth_rate: int,
+        num_units: int,
+        use_batchnorm: bool = True,
+        rng: RngLike = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if num_units <= 0:
+            raise ConfigurationError(f"num_units must be positive, got {num_units}")
+        if growth_rate <= 0:
+            raise ConfigurationError(f"growth_rate must be positive, got {growth_rate}")
+        self.in_channels = int(in_channels)
+        self.growth_rate = int(growth_rate)
+        self.num_units = int(num_units)
+        self.out_channels = in_channels + num_units * growth_rate
+
+        rngs = spawn(ensure_rng(rng), num_units)
+        self.units: List[_DenseUnit] = []
+        channels = in_channels
+        for i in range(num_units):
+            unit = _DenseUnit(channels, growth_rate, use_batchnorm=use_batchnorm,
+                              rng=rngs[i], name=f"unit{i}")
+            self.units.append(unit)
+            self.add_child(unit)
+            channels += growth_rate
+
+        self._unit_input_channels: List[int] = []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        features = np.asarray(x, dtype=np.float64)
+        self._unit_input_channels = []
+        for unit in self.units:
+            self._unit_input_channels.append(features.shape[1])
+            new_features = unit.forward(features)
+            features = np.concatenate([features, new_features], axis=1)
+        return features
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if not self._unit_input_channels:
+            raise RuntimeError("backward called before forward on DenseBlock")
+        grad_features = np.asarray(grad_out, dtype=np.float64)
+        # Walk the units in reverse, peeling off the gradient of each unit's
+        # contribution and adding its input gradient back onto the stack.
+        for unit, in_ch in zip(reversed(self.units), reversed(self._unit_input_channels)):
+            grad_existing = grad_features[:, :in_ch]
+            grad_new = grad_features[:, in_ch:]
+            grad_unit_input = unit.backward(grad_new)
+            grad_features = grad_existing + grad_unit_input
+        return grad_features
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        return (self.out_channels, h, w)
+
+    def __repr__(self) -> str:
+        return (
+            f"DenseBlock(in={self.in_channels}, growth={self.growth_rate}, "
+            f"units={self.num_units}, out={self.out_channels}, name={self.name!r})"
+        )
+
+
+class TransitionLayer(Layer):
+    """DenseNet transition: BN-ReLU-1×1 conv (channel compression) + 2×2 average pool."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        use_batchnorm: bool = True,
+        rng: RngLike = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if in_channels <= 0 or out_channels <= 0:
+            raise ConfigurationError(
+                f"TransitionLayer requires positive channel counts, got "
+                f"in={in_channels}, out={out_channels}"
+            )
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+
+        layers: List[Layer] = []
+        if use_batchnorm:
+            layers.append(BatchNorm2D(in_channels, name="bn"))
+        layers.append(ReLU(name="relu"))
+        layers.append(
+            Conv2D(in_channels, out_channels, 1, stride=1, padding=0,
+                   use_bias=not use_batchnorm, rng=rng, name="conv")
+        )
+        layers.append(AvgPool2D(kernel_size=2, stride=2, name="pool"))
+        self.body = self.add_child(Sequential(layers, name="body"))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.body.forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.body.backward(grad_out)
+
+    def output_shape(self, input_shape):
+        return self.body.output_shape(tuple(input_shape))
+
+    def __repr__(self) -> str:
+        return (
+            f"TransitionLayer(in={self.in_channels}, out={self.out_channels}, "
+            f"name={self.name!r})"
+        )

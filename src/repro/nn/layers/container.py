@@ -1,0 +1,116 @@
+"""Sequential layer container.
+
+The container is the backbone of every model in :mod:`repro.models` and the
+place where DeepMorph's instrumentation hooks in: a forward pass can record
+the output of every (top-level) stage, which is exactly the "intermediate
+output of every layer" the paper's data-flow footprints are built from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...exceptions import ConfigurationError
+from ..module import Layer
+
+__all__ = ["Sequential"]
+
+
+class Sequential(Layer):
+    """Run child layers in order, feeding each one's output into the next."""
+
+    def __init__(self, layers: Optional[Iterable[Layer]] = None, name: Optional[str] = None):
+        super().__init__(name=name)
+        if layers is not None:
+            for layer in layers:
+                self.append(layer)
+
+    # -- construction -------------------------------------------------------
+
+    def append(self, layer: Layer) -> "Sequential":
+        """Append a layer (its name must be unique within the container)."""
+        if not isinstance(layer, Layer):
+            raise ConfigurationError(f"Sequential can only contain Layer instances, got {type(layer)!r}")
+        existing = {child.name for child in self._children}
+        if layer.name in existing:
+            # Auto-disambiguate: stable, readable, keeps model-building code terse.
+            layer.name = f"{layer.name}_{len(self._children)}"
+        self.add_child(layer)
+        return self
+
+    def extend(self, layers: Sequence[Layer]) -> "Sequential":
+        """Append multiple layers."""
+        for layer in layers:
+            self.append(layer)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def __getitem__(self, index: int) -> Layer:
+        return self._children[index]
+
+    def __iter__(self):
+        return iter(self._children)
+
+    def layer_names(self) -> List[str]:
+        """Names of the direct children, in execution order."""
+        return [child.name for child in self._children]
+
+    def index_of(self, layer_name: str) -> int:
+        """Position of the direct child called ``layer_name``."""
+        for i, child in enumerate(self._children):
+            if child.name == layer_name:
+                return i
+        raise KeyError(f"no layer named {layer_name!r} in {self.name!r}")
+
+    # -- computation ---------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for child in self._children:
+            out = child.forward(out)
+        return out
+
+    def forward_with_activations(self, x: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Forward pass that also returns each direct child's output.
+
+        Returns
+        -------
+        ``(output, activations)`` where ``activations`` maps the child layer
+        name to its output array, in execution order (dicts preserve insertion
+        order).  This is the primitive DeepMorph's footprint extraction uses.
+        """
+        activations: Dict[str, np.ndarray] = {}
+        out = x
+        for child in self._children:
+            out = child.forward(out)
+            activations[child.name] = out
+        return out, activations
+
+    def forward_until(self, x: np.ndarray, layer_name: str) -> np.ndarray:
+        """Run the forward pass up to and including ``layer_name``."""
+        out = x
+        for child in self._children:
+            out = child.forward(out)
+            if child.name == layer_name:
+                return out
+        raise KeyError(f"no layer named {layer_name!r} in {self.name!r}")
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out
+        for child in reversed(self._children):
+            grad = child.backward(grad)
+        return grad
+
+    def output_shape(self, input_shape):
+        shape = tuple(input_shape)
+        for child in self._children:
+            shape = child.output_shape(shape)
+        return shape
+
+    def __repr__(self) -> str:
+        inner = ", ".join(type(child).__name__ for child in self._children)
+        return f"Sequential(name={self.name!r}, layers=[{inner}])"

@@ -1,0 +1,101 @@
+"""Fully-connected (dense) layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...exceptions import ConfigurationError, ShapeError
+from ...rng import RngLike, ensure_rng
+from ..initializers import Initializer, Zeros, get_initializer
+from ..module import Layer, Parameter
+
+__all__ = ["Dense"]
+
+
+class Dense(Layer):
+    """Affine transform ``y = x @ W + b`` over the last axis.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    use_bias:
+        Whether a bias vector is added.
+    weight_init, bias_init:
+        Initializer instances or registry names.
+    rng:
+        Seed or generator used for weight initialization.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        use_bias: bool = True,
+        weight_init: "str | Initializer" = "he_normal",
+        bias_init: "str | Initializer" = "zeros",
+        rng: RngLike = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if in_features <= 0 or out_features <= 0:
+            raise ConfigurationError(
+                f"Dense requires positive sizes, got in={in_features}, out={out_features}"
+            )
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.use_bias = bool(use_bias)
+
+        generator = ensure_rng(rng)
+        w_init = get_initializer(weight_init)
+        b_init = get_initializer(bias_init) if use_bias else Zeros()
+
+        self.weight = self.add_parameter(
+            "weight",
+            Parameter(w_init((in_features, out_features), generator), name=f"{self.name}.weight"),
+        )
+        self.bias: Optional[Parameter] = None
+        if use_bias:
+            self.bias = self.add_parameter(
+                "bias",
+                Parameter(b_init((out_features,), generator), name=f"{self.name}.bias"),
+            )
+
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ShapeError(
+                f"Dense expects 2-D input (batch, features), got shape {x.shape}; "
+                "insert a Flatten layer before dense layers"
+            )
+        if x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"Dense {self.name!r} expects {self.in_features} input features, got {x.shape[1]}"
+            )
+        self._input = x
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward on Dense")
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        self.weight.accumulate_grad(self._input.T @ grad_out)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_out.sum(axis=0))
+        return grad_out @ self.weight.data.T
+
+    def output_shape(self, input_shape):
+        return (self.out_features,)
+
+    def __repr__(self) -> str:
+        return (
+            f"Dense(in={self.in_features}, out={self.out_features}, "
+            f"bias={self.use_bias}, name={self.name!r})"
+        )

@@ -1,0 +1,48 @@
+"""Inverted dropout layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...exceptions import ConfigurationError
+from ...rng import RngLike, ensure_rng
+from ..module import Layer
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only in training mode.
+
+    Each activation is zeroed with probability ``rate`` and the survivors are
+    scaled by ``1 / (1 - rate)`` so the expected activation is unchanged;
+    inference mode is the identity.
+    """
+
+    def __init__(self, rate: float = 0.5, rng: RngLike = None, name: Optional[str] = None):
+        super().__init__(name=name)
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"dropout rate must lie in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = ensure_rng(rng)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep_prob = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep_prob) / keep_prob
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+    def output_shape(self, input_shape):
+        return tuple(input_shape)

@@ -1,0 +1,160 @@
+"""Batch-normalization layers for dense and convolutional activations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...exceptions import ConfigurationError, ShapeError
+from ..module import Layer, Parameter
+
+__all__ = ["BatchNorm1D", "BatchNorm2D"]
+
+
+class _BatchNormBase(Layer):
+    """Shared machinery for 1-D and 2-D batch normalization.
+
+    Subclasses define which axes are reduced over; the base class owns the
+    scale/shift parameters, running statistics, and the backward pass.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        momentum: float = 0.9,
+        eps: float = 1e-5,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if num_features <= 0:
+            raise ConfigurationError(f"num_features must be positive, got {num_features}")
+        if not 0.0 <= momentum <= 1.0:
+            raise ConfigurationError(f"momentum must lie in [0, 1], got {momentum}")
+        if eps <= 0:
+            raise ConfigurationError(f"eps must be positive, got {eps}")
+
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+
+        self.gamma = self.add_parameter(
+            "gamma", Parameter(np.ones(num_features), name=f"{self.name}.gamma")
+        )
+        self.beta = self.add_parameter(
+            "beta", Parameter(np.zeros(num_features), name=f"{self.name}.beta")
+        )
+
+        # Running statistics are buffers, not parameters: they are updated by
+        # the forward pass in training mode and consumed in eval mode.
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+        self._cache: Optional[tuple] = None
+
+    # Subclass hooks ---------------------------------------------------------
+
+    def _check_input(self, x: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _reshape_stats(self, stat: np.ndarray) -> np.ndarray:
+        """Reshape a per-feature statistic so it broadcasts against the input."""
+        raise NotImplementedError
+
+    def _reduce_axes(self) -> tuple:
+        raise NotImplementedError
+
+    # Forward / backward -------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._check_input(x)
+        axes = self._reduce_axes()
+
+        if self.training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+
+        mean_b = self._reshape_stats(mean)
+        var_b = self._reshape_stats(var)
+        inv_std = 1.0 / np.sqrt(var_b + self.eps)
+        x_hat = (x - mean_b) * inv_std
+
+        out = self._reshape_stats(self.gamma.data) * x_hat + self._reshape_stats(self.beta.data)
+        if self.training:
+            self._cache = (x_hat, inv_std)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                "backward called before a training-mode forward on batch norm"
+            )
+        x_hat, inv_std = self._cache
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        axes = self._reduce_axes()
+
+        # Number of elements that contributed to each feature's statistics.
+        m = grad_out.size / self.num_features
+
+        grad_gamma = (grad_out * x_hat).sum(axis=axes)
+        grad_beta = grad_out.sum(axis=axes)
+        self.gamma.accumulate_grad(grad_gamma)
+        self.beta.accumulate_grad(grad_beta)
+
+        gamma_b = self._reshape_stats(self.gamma.data)
+        grad_xhat = grad_out * gamma_b
+        grad_input = (
+            inv_std
+            / m
+            * (
+                m * grad_xhat
+                - self._reshape_stats(grad_xhat.sum(axis=axes))
+                - x_hat * self._reshape_stats((grad_xhat * x_hat).sum(axis=axes))
+            )
+        )
+        return grad_input
+
+    def output_shape(self, input_shape):
+        return tuple(input_shape)
+
+
+class BatchNorm1D(_BatchNormBase):
+    """Batch normalization over ``(batch, features)`` activations."""
+
+    def _check_input(self, x: np.ndarray) -> None:
+        if x.ndim != 2:
+            raise ShapeError(f"BatchNorm1D expects 2-D input, got shape {x.shape}")
+        if x.shape[1] != self.num_features:
+            raise ShapeError(
+                f"BatchNorm1D built for {self.num_features} features, got {x.shape[1]}"
+            )
+
+    def _reshape_stats(self, stat: np.ndarray) -> np.ndarray:
+        return stat.reshape(1, -1)
+
+    def _reduce_axes(self) -> tuple:
+        return (0,)
+
+
+class BatchNorm2D(_BatchNormBase):
+    """Batch normalization over ``(batch, channels, height, width)`` activations."""
+
+    def _check_input(self, x: np.ndarray) -> None:
+        if x.ndim != 4:
+            raise ShapeError(f"BatchNorm2D expects NCHW input, got shape {x.shape}")
+        if x.shape[1] != self.num_features:
+            raise ShapeError(
+                f"BatchNorm2D built for {self.num_features} channels, got {x.shape[1]}"
+            )
+
+    def _reshape_stats(self, stat: np.ndarray) -> np.ndarray:
+        return stat.reshape(1, -1, 1, 1)
+
+    def _reduce_axes(self) -> tuple:
+        return (0, 2, 3)

@@ -1,0 +1,153 @@
+"""Loss functions.
+
+A loss object exposes ``forward(logits_or_probs, targets) -> float`` and
+``backward() -> np.ndarray`` (the gradient with respect to the predictions
+passed to the most recent ``forward``).  Targets are integer class labels for
+classification losses and float arrays for regression losses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from . import functional as F
+
+__all__ = ["Loss", "SoftmaxCrossEntropy", "MeanSquaredError", "NegativeLogLikelihood", "get_loss"]
+
+
+class Loss:
+    """Base class of loss functions."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Fused softmax + cross-entropy over integer class labels.
+
+    Expects raw logits of shape ``(batch, num_classes)``.  The fusion keeps the
+    backward pass numerically stable (``softmax(logits) - onehot(targets)``).
+
+    Parameters
+    ----------
+    label_smoothing:
+        Optional label smoothing factor in ``[0, 1)``; 0 disables smoothing.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0):
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ConfigurationError(
+                f"label_smoothing must lie in [0, 1), got {label_smoothing}"
+            )
+        self.label_smoothing = float(label_smoothing)
+        self._probs: Optional[np.ndarray] = None
+        self._target_dist: Optional[np.ndarray] = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float64)
+        targets = np.asarray(targets)
+        if logits.ndim != 2:
+            raise ShapeError(f"logits must be 2-D (batch, classes), got shape {logits.shape}")
+        if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+            raise ShapeError(
+                f"targets must be 1-D with the same batch size as logits, got "
+                f"targets {targets.shape} vs logits {logits.shape}"
+            )
+        num_classes = logits.shape[1]
+        target_dist = F.one_hot(targets.astype(int), num_classes)
+        if self.label_smoothing > 0.0:
+            target_dist = (
+                (1.0 - self.label_smoothing) * target_dist
+                + self.label_smoothing / num_classes
+            )
+
+        log_probs = F.log_softmax(logits, axis=1)
+        self._probs = np.exp(log_probs)
+        self._target_dist = target_dist
+        return float(-(target_dist * log_probs).sum(axis=1).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._target_dist is None:
+            raise RuntimeError("backward called before forward on SoftmaxCrossEntropy")
+        batch = self._probs.shape[0]
+        return (self._probs - self._target_dist) / batch
+
+
+class NegativeLogLikelihood(Loss):
+    """Cross-entropy over *probabilities* (e.g. the output of a Softmax layer)."""
+
+    def __init__(self, eps: float = 1e-12):
+        if eps <= 0:
+            raise ConfigurationError(f"eps must be positive, got {eps}")
+        self.eps = float(eps)
+        self._probs: Optional[np.ndarray] = None
+        self._onehot: Optional[np.ndarray] = None
+
+    def forward(self, probs: np.ndarray, targets: np.ndarray) -> float:
+        probs = np.asarray(probs, dtype=np.float64)
+        targets = np.asarray(targets)
+        if probs.ndim != 2:
+            raise ShapeError(f"probs must be 2-D (batch, classes), got shape {probs.shape}")
+        onehot = F.one_hot(targets.astype(int), probs.shape[1])
+        self._probs = probs
+        self._onehot = onehot
+        picked = np.clip((probs * onehot).sum(axis=1), self.eps, None)
+        return float(-np.log(picked).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._onehot is None:
+            raise RuntimeError("backward called before forward on NegativeLogLikelihood")
+        batch = self._probs.shape[0]
+        picked = np.clip(self._probs, self.eps, None)
+        return -(self._onehot / picked) / batch
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error over arbitrary-shape float targets."""
+
+    def __init__(self):
+        self._diff: Optional[np.ndarray] = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ShapeError(
+                f"predictions shape {predictions.shape} does not match targets {targets.shape}"
+            )
+        self._diff = predictions - targets
+        return float(np.mean(self._diff ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward on MeanSquaredError")
+        return 2.0 * self._diff / self._diff.size
+
+
+_REGISTRY: Dict[str, Type[Loss]] = {
+    "softmax_cross_entropy": SoftmaxCrossEntropy,
+    "cross_entropy": SoftmaxCrossEntropy,
+    "nll": NegativeLogLikelihood,
+    "mse": MeanSquaredError,
+}
+
+
+def get_loss(spec: "str | Loss") -> Loss:
+    """Resolve a loss from an instance or a registry name."""
+    if isinstance(spec, Loss):
+        return spec
+    if isinstance(spec, str):
+        key = spec.lower()
+        if key not in _REGISTRY:
+            raise ConfigurationError(f"unknown loss {spec!r}; available: {sorted(_REGISTRY)}")
+        return _REGISTRY[key]()
+    raise ConfigurationError(f"loss must be a name or Loss instance, got {type(spec)!r}")

@@ -1,0 +1,31 @@
+"""Optimizers and learning-rate schedules for the numpy substrate."""
+
+from .optimizers import SGD, Adam, AdamW, Optimizer, RMSProp, clip_gradients, get_optimizer
+from .schedules import (
+    ConstantSchedule,
+    CosineAnnealing,
+    ExponentialDecay,
+    PiecewiseSchedule,
+    Schedule,
+    StepDecay,
+    WarmupSchedule,
+    get_schedule,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "RMSProp",
+    "get_optimizer",
+    "clip_gradients",
+    "Schedule",
+    "ConstantSchedule",
+    "StepDecay",
+    "ExponentialDecay",
+    "CosineAnnealing",
+    "WarmupSchedule",
+    "PiecewiseSchedule",
+    "get_schedule",
+]

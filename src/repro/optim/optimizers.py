@@ -1,0 +1,220 @@
+"""Gradient-descent optimizers.
+
+An optimizer holds a list of :class:`~repro.nn.module.Parameter` objects and
+updates their ``data`` in place from their accumulated ``grad``.  Parameters
+whose ``trainable`` flag is ``False`` are skipped, which is how the softmax
+probes are trained against a frozen backbone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Type
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "RMSProp", "get_optimizer", "clip_gradients"]
+
+
+def clip_gradients(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm does not exceed ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging divergence).
+    """
+    if max_norm <= 0:
+        raise ConfigurationError(f"max_norm must be positive, got {max_norm}")
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float(np.sum(p.grad ** 2)) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base class for optimizers."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ConfigurationError("optimizer received no parameters")
+        self.lr = float(lr)
+        self.iterations = 0
+
+    def step(self) -> None:
+        """Apply one update to every trainable parameter with a gradient."""
+        for param in self.parameters:
+            if not param.trainable or param.grad is None:
+                continue
+            self._update(param)
+        self.iterations += 1
+
+    def _update(self, param: Parameter) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def state_dict(self) -> Dict[str, float]:
+        """Scalar hyper-parameter state (for experiment logging)."""
+        return {"lr": self.lr, "iterations": self.iterations}
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional (Nesterov) momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must lie in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ConfigurationError(f"weight_decay must be non-negative, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ConfigurationError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+        self.weight_decay = float(weight_decay)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _update(self, param: Parameter) -> None:
+        grad = param.grad
+        if self.weight_decay > 0:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum > 0:
+            vel = self._velocity.get(id(param))
+            if vel is None:
+                vel = np.zeros_like(param.data)
+            vel = self.momentum * vel + grad
+            self._velocity[id(param)] = vel
+            if self.nesterov:
+                grad = grad + self.momentum * vel
+            else:
+                grad = vel
+        param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError(f"betas must lie in [0, 1), got ({beta1}, {beta2})")
+        if eps <= 0:
+            raise ConfigurationError(f"eps must be positive, got {eps}")
+        if weight_decay < 0:
+            raise ConfigurationError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t: Dict[int, int] = {}
+
+    def _update(self, param: Parameter) -> None:
+        grad = param.grad
+        if self.weight_decay > 0:
+            grad = grad + self.weight_decay * param.data
+        key = id(param)
+        m = self._m.get(key)
+        v = self._v.get(key)
+        if m is None:
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+        t = self._t.get(key, 0) + 1
+
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * (grad ** 2)
+        self._m[key], self._v[key], self._t[key] = m, v, t
+
+        m_hat = m / (1 - self.beta1 ** t)
+        v_hat = v / (1 - self.beta2 ** t)
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def _update(self, param: Parameter) -> None:
+        if self.weight_decay > 0:
+            param.data -= self.lr * self.weight_decay * param.data
+        decay, self.weight_decay = self.weight_decay, 0.0
+        try:
+            super()._update(param)
+        finally:
+            self.weight_decay = decay
+
+
+class RMSProp(Optimizer):
+    """RMSProp optimizer."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        rho: float = 0.9,
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters, lr)
+        if not 0.0 <= rho < 1.0:
+            raise ConfigurationError(f"rho must lie in [0, 1), got {rho}")
+        if eps <= 0:
+            raise ConfigurationError(f"eps must be positive, got {eps}")
+        self.rho = float(rho)
+        self.eps = float(eps)
+        self._cache: Dict[int, np.ndarray] = {}
+
+    def _update(self, param: Parameter) -> None:
+        key = id(param)
+        cache = self._cache.get(key)
+        if cache is None:
+            cache = np.zeros_like(param.data)
+        cache = self.rho * cache + (1 - self.rho) * (param.grad ** 2)
+        self._cache[key] = cache
+        param.data -= self.lr * param.grad / (np.sqrt(cache) + self.eps)
+
+
+_REGISTRY: Dict[str, Type[Optimizer]] = {
+    "sgd": SGD,
+    "adam": Adam,
+    "adamw": AdamW,
+    "rmsprop": RMSProp,
+}
+
+
+def get_optimizer(
+    name: str, parameters: Iterable[Parameter], lr: Optional[float] = None, **kwargs
+) -> Optimizer:
+    """Build an optimizer from its registry name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(f"unknown optimizer {name!r}; available: {sorted(_REGISTRY)}")
+    cls = _REGISTRY[key]
+    if lr is None:
+        return cls(parameters, **kwargs)
+    return cls(parameters, lr=lr, **kwargs)

@@ -1,0 +1,19 @@
+"""Persistence of models, footprints, and defect reports."""
+
+from .persistence import (
+    load_footprints,
+    load_model,
+    load_report,
+    save_footprints,
+    save_model,
+    save_report,
+)
+
+__all__ = [
+    "save_model",
+    "load_model",
+    "save_footprints",
+    "load_footprints",
+    "save_report",
+    "load_report",
+]

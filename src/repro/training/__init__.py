@@ -1,0 +1,17 @@
+"""Training loop, callbacks, and history."""
+
+from .callbacks import Callback, EarlyStopping, EpochLogger, LambdaCallback, TargetAccuracyStopping
+from .history import EpochRecord, History
+from .trainer import Trainer, evaluate
+
+__all__ = [
+    "Trainer",
+    "evaluate",
+    "History",
+    "EpochRecord",
+    "Callback",
+    "EarlyStopping",
+    "TargetAccuracyStopping",
+    "EpochLogger",
+    "LambdaCallback",
+]

@@ -1,0 +1,70 @@
+"""Training history: per-epoch metric records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["EpochRecord", "History"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Metrics observed during one training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    val_loss: Optional[float] = None
+    val_accuracy: Optional[float] = None
+    learning_rate: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        return {
+            "epoch": self.epoch,
+            "train_loss": self.train_loss,
+            "train_accuracy": self.train_accuracy,
+            "val_loss": self.val_loss,
+            "val_accuracy": self.val_accuracy,
+            "learning_rate": self.learning_rate,
+        }
+
+
+@dataclass
+class History:
+    """Ordered collection of :class:`EpochRecord` produced by a training run."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> EpochRecord:
+        return self.records[index]
+
+    @property
+    def final(self) -> Optional[EpochRecord]:
+        """The last epoch's record, or ``None`` if training never ran."""
+        return self.records[-1] if self.records else None
+
+    def metric(self, name: str) -> List[Optional[float]]:
+        """The per-epoch series of one metric (``"train_loss"``, ``"val_accuracy"``, ...)."""
+        return [record.as_dict()[name] for record in self.records]
+
+    def best_epoch(self, metric: str = "val_accuracy", mode: str = "max") -> Optional[EpochRecord]:
+        """The record with the best value of ``metric`` (ignoring missing values)."""
+        candidates = [r for r in self.records if r.as_dict().get(metric) is not None]
+        if not candidates:
+            return None
+        key = lambda r: r.as_dict()[metric]  # noqa: E731 - tiny accessor
+        return max(candidates, key=key) if mode == "max" else min(candidates, key=key)
+
+    def as_dicts(self) -> List[Dict[str, Optional[float]]]:
+        """The whole history as a list of plain dictionaries (JSON-friendly)."""
+        return [record.as_dict() for record in self.records]

@@ -1,0 +1,161 @@
+"""Mini-batch training loop for classifier models."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..data.loader import DataLoader
+from ..exceptions import ConfigurationError, DatasetError
+from ..nn.losses import Loss, SoftmaxCrossEntropy, get_loss
+from ..nn.metrics import accuracy
+from ..nn.module import Layer
+from ..optim.optimizers import Optimizer, clip_gradients
+from ..optim.schedules import Schedule
+from ..rng import RngLike, ensure_rng
+from .callbacks import Callback
+from .history import EpochRecord, History
+
+__all__ = ["Trainer", "evaluate"]
+
+
+def evaluate(model, dataset: Dataset, batch_size: int = 256, loss: Optional[Loss] = None) -> Tuple[float, float]:
+    """Return ``(loss, accuracy)`` of ``model`` on ``dataset`` in inference mode.
+
+    ``model`` must expose ``predict_logits`` (every
+    :class:`~repro.models.ClassifierModel` does).
+    """
+    if len(dataset) == 0:
+        raise DatasetError("cannot evaluate on an empty dataset")
+    loss = loss if loss is not None else SoftmaxCrossEntropy()
+    inputs, labels = dataset.arrays()
+    logits = model.predict_logits(inputs, batch_size=batch_size)
+    return float(loss.forward(logits, labels)), accuracy(logits, labels)
+
+
+class Trainer:
+    """Trains a model with mini-batch gradient descent.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.nn.module.Layer` whose forward output are logits
+        (in practice a :class:`~repro.models.ClassifierModel`).
+    optimizer:
+        The optimizer that owns the model's parameters.
+    loss:
+        Loss instance or registry name (default: fused softmax cross-entropy).
+    schedule:
+        Optional learning-rate schedule applied at the start of each epoch.
+    grad_clip_norm:
+        Optional global-norm gradient clipping.
+    callbacks:
+        Observers of the training loop (early stopping, logging, ...).
+    rng:
+        Seed or generator for batch shuffling.
+    """
+
+    def __init__(
+        self,
+        model: Layer,
+        optimizer: Optimizer,
+        loss: "str | Loss" = "cross_entropy",
+        schedule: Optional[Schedule] = None,
+        grad_clip_norm: Optional[float] = None,
+        callbacks: Optional[Sequence[Callback]] = None,
+        rng: RngLike = None,
+    ):
+        if grad_clip_norm is not None and grad_clip_norm <= 0:
+            raise ConfigurationError(f"grad_clip_norm must be positive, got {grad_clip_norm}")
+        self.model = model
+        self.optimizer = optimizer
+        self.loss = get_loss(loss)
+        self.schedule = schedule
+        self.grad_clip_norm = grad_clip_norm
+        self.callbacks: List[Callback] = list(callbacks or [])
+        self._rng = ensure_rng(rng)
+
+    # -- single steps ---------------------------------------------------------
+
+    def train_step(self, inputs: np.ndarray, labels: np.ndarray) -> Tuple[float, float]:
+        """One optimization step on a mini-batch; returns ``(loss, accuracy)``."""
+        self.model.train(True)
+        self.model.zero_grad()
+        logits = self.model.forward(inputs)
+        batch_loss = self.loss.forward(logits, labels)
+        grad = self.loss.backward()
+        self.model.backward(grad)
+        if self.grad_clip_norm is not None:
+            clip_gradients(self.model.parameters(), self.grad_clip_norm)
+        self.optimizer.step()
+        return float(batch_loss), accuracy(logits, labels)
+
+    # -- full loop --------------------------------------------------------------
+
+    def fit(
+        self,
+        train_data: Dataset,
+        epochs: int = 10,
+        batch_size: int = 32,
+        validation_data: Optional[Dataset] = None,
+        shuffle: bool = True,
+    ) -> History:
+        """Train for up to ``epochs`` epochs (callbacks may stop earlier)."""
+        if epochs <= 0:
+            raise ConfigurationError(f"epochs must be positive, got {epochs}")
+        if len(train_data) == 0:
+            raise DatasetError("cannot train on an empty dataset")
+
+        loader = DataLoader(
+            train_data, batch_size=batch_size, shuffle=shuffle, rng=self._rng
+        )
+        history = History()
+
+        for callback in self.callbacks:
+            callback.on_train_begin()
+
+        for epoch in range(epochs):
+            if self.schedule is not None:
+                self.optimizer.lr = self.schedule(epoch)
+
+            losses: List[float] = []
+            accuracies: List[float] = []
+            weights: List[int] = []
+            for batch_inputs, batch_labels in loader:
+                batch_loss, batch_acc = self.train_step(batch_inputs, batch_labels)
+                losses.append(batch_loss)
+                accuracies.append(batch_acc)
+                weights.append(batch_inputs.shape[0])
+
+            total = float(sum(weights))
+            train_loss = float(np.dot(losses, weights) / total)
+            train_acc = float(np.dot(accuracies, weights) / total)
+
+            val_loss = val_acc = None
+            if validation_data is not None and len(validation_data) > 0:
+                val_loss, val_acc = evaluate(self.model, validation_data, loss=self.loss)
+
+            record = EpochRecord(
+                epoch=epoch,
+                train_loss=train_loss,
+                train_accuracy=train_acc,
+                val_loss=val_loss,
+                val_accuracy=val_acc,
+                learning_rate=self.optimizer.lr,
+            )
+            history.append(record)
+
+            stop = False
+            for callback in self.callbacks:
+                callback.on_epoch_end(record)
+                stop = stop or callback.should_stop()
+            if stop:
+                break
+
+        for callback in self.callbacks:
+            callback.on_train_end()
+
+        self.model.eval()
+        return history

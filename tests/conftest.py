@@ -1,0 +1,100 @@
+"""Shared fixtures for the test suite.
+
+Everything here is deliberately tiny (8×8 images, a handful of examples per
+class, single-digit epochs) so the whole suite stays fast while still
+exercising real training, probing, and diagnosis code paths.  Expensive
+fixtures are session-scoped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DeepMorph
+from repro.data import ArrayDataset, SyntheticConfig, SyntheticImageClassification
+from repro.models import LeNet
+from repro.optim import Adam
+from repro.training import Trainer
+
+
+TINY_IMAGE_SIZE = 10
+TINY_CLASSES = 4
+
+
+def make_tiny_generator(seed: int = 5) -> SyntheticImageClassification:
+    """A small synthetic task: 4 classes of 10×10 grayscale images."""
+    return SyntheticImageClassification(SyntheticConfig(
+        num_classes=TINY_CLASSES,
+        image_size=TINY_IMAGE_SIZE,
+        channels=1,
+        templates_per_class=2,
+        blobs_per_template=2,
+        bars_per_template=1,
+        noise_std=0.05,
+        max_shift=1,
+        distractor_bars=0,
+        seed=seed,
+    ))
+
+
+def make_tiny_model(seed: int = 3) -> LeNet:
+    """A very small LeNet matched to the tiny generator."""
+    return LeNet(
+        input_shape=(1, TINY_IMAGE_SIZE, TINY_IMAGE_SIZE),
+        num_classes=TINY_CLASSES,
+        conv_channels=(4,),
+        dense_units=(16,),
+        kernel_size=3,
+        rng=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_generator() -> SyntheticImageClassification:
+    return make_tiny_generator()
+
+
+@pytest.fixture(scope="session")
+def tiny_splits(tiny_generator):
+    """(train, test) ArrayDatasets for the tiny task."""
+    return tiny_generator.splits(n_train_per_class=20, n_test_per_class=10, rng=0)
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_model(tiny_splits):
+    """A tiny LeNet trained on the tiny task (shared across tests, never mutated)."""
+    train, _ = tiny_splits
+    model = make_tiny_model()
+    trainer = Trainer(model, Adam(model.parameters(), lr=0.02), rng=1)
+    trainer.fit(train, epochs=6, batch_size=16)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def fitted_deepmorph(trained_tiny_model, tiny_splits):
+    """A DeepMorph instance fitted on the tiny trained model."""
+    train, _ = tiny_splits
+    morph = DeepMorph(probe_epochs=4, rng=2)
+    morph.fit(trained_tiny_model, train)
+    return morph
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def small_labeled_arrays(rng):
+    """A small random (inputs, labels) pair with 3 classes for dataset tests."""
+    inputs = rng.random((30, 1, 6, 6))
+    labels = np.repeat(np.arange(3), 10)
+    return inputs, labels
+
+
+@pytest.fixture()
+def small_dataset(small_labeled_arrays) -> ArrayDataset:
+    inputs, labels = small_labeled_arrays
+    return ArrayDataset(inputs, labels, num_classes=3, name="small")

@@ -1,0 +1,109 @@
+"""Integration tests: the full DeepMorph pipeline on miniature defect scenarios.
+
+These tests exercise the same code path as the Table I benchmarks (train →
+inject → diagnose) on the ``smoke`` preset, asserting structural invariants
+(ratios sum to one, reports carry metadata, every defect can be processed end
+to end) rather than the statistical headline claim, which needs the larger
+benchmark workloads to be stable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DeepMorph, find_faulty_cases
+from repro.defects import DefectType, InsufficientTrainingData, UnreliableTrainingData
+from repro.experiments import ExperimentSettings, preset, run_cell
+from repro.models import LeNet
+from repro.optim import Adam
+from repro.training import Trainer, evaluate
+from tests.conftest import make_tiny_generator, make_tiny_model
+
+
+SMOKE = preset("smoke")
+
+
+class TestRunCellSmoke:
+    @pytest.mark.parametrize("defect", ["itd", "utd", "sd"])
+    def test_run_cell_produces_complete_result(self, defect):
+        cell = run_cell(defect, SMOKE)
+        assert cell.injected_defect is DefectType.from_string(defect)
+        assert 0.0 <= cell.test_accuracy <= 1.0
+        assert cell.num_faulty_cases >= 0
+        if cell.report is not None:
+            ratios = cell.ratios()
+            assert set(ratios) == {"itd", "utd", "sd"}
+            assert sum(ratios.values()) == pytest.approx(1.0)
+            assert cell.report.metadata["injected_defect"] == defect
+        payload = cell.as_dict()
+        assert payload["model"] == SMOKE.model
+        assert payload["injected_defect"] == defect
+
+    def test_clean_cell_runs_without_injection(self):
+        cell = run_cell(DefectType.NONE, SMOKE)
+        assert cell.injected_defect is DefectType.NONE
+        assert cell.injection_description == "no injected defect"
+
+    def test_run_cell_is_reproducible(self):
+        a = run_cell("utd", SMOKE)
+        b = run_cell("utd", SMOKE)
+        assert a.test_accuracy == pytest.approx(b.test_accuracy)
+        assert a.num_faulty_cases == b.num_faulty_cases
+        if a.report is not None and b.report is not None:
+            for defect in a.report.ratios:
+                assert a.report.ratios[defect] == pytest.approx(b.report.ratios[defect])
+
+    def test_collect_specifics_attaches_per_case_features(self):
+        cell = run_cell("utd", SMOKE, collect_specifics=True)
+        if cell.report is not None:
+            assert len(cell.extras["specifics"]) == cell.report.num_cases
+            assert cell.extras["context"] is not None
+
+
+class TestManualPipeline:
+    """The pipeline assembled by hand from its pieces (as a user would)."""
+
+    def test_utd_scenario_diagnosis_contains_all_steps(self):
+        generator = make_tiny_generator(seed=9)
+        train, production = generator.splits(25, 12, rng=3)
+        corrupted, injection = UnreliableTrainingData(
+            source_class=0, target_class=2, fraction=0.5
+        ).apply(train, rng=4)
+        assert injection.relabeled_count > 0
+
+        model = make_tiny_model(seed=11)
+        Trainer(model, Adam(model.parameters(), lr=0.02), rng=5).fit(
+            corrupted, epochs=6, batch_size=16
+        )
+        _, accuracy = evaluate(model, production)
+        assert accuracy > 0.3  # the model must have learned something
+
+        morph = DeepMorph(probe_epochs=4, rng=6)
+        morph.fit(model, corrupted)
+        report = morph.diagnose_dataset(production, metadata={"scenario": "utd"})
+        assert report.num_cases > 0
+        assert sum(report.ratios.values()) == pytest.approx(1.0)
+        assert report.context.error_concentration >= 0.0
+        # Per-case verdicts cover exactly the diagnosed cases.
+        assert len(report.verdicts) == report.num_cases
+
+    def test_itd_scenario_flags_affected_class_errors(self):
+        generator = make_tiny_generator(seed=13)
+        train, production = generator.splits(25, 12, rng=1)
+        starved, injection = InsufficientTrainingData(
+            affected_classes=[1], keep_fraction=0.08
+        ).apply(train, rng=2)
+        assert injection.removed_per_class[1] > 0
+
+        model = make_tiny_model(seed=17)
+        Trainer(model, Adam(model.parameters(), lr=0.02), rng=3).fit(
+            starved, epochs=6, batch_size=16
+        )
+        faulty_inputs, faulty_labels, _ = find_faulty_cases(model, production)
+        if faulty_labels.size == 0:
+            pytest.skip("tiny model made no production errors")
+
+        morph = DeepMorph(probe_epochs=4, rng=4)
+        morph.fit(model, starved)
+        report = morph.diagnose(faulty_inputs, faulty_labels)
+        assert report.num_cases == int(np.sum(model.predict(faulty_inputs) != faulty_labels))
+        assert report.dominant_defect in (DefectType.ITD, DefectType.UTD, DefectType.SD)

@@ -1,0 +1,173 @@
+"""Tests for divergences, trajectory statistics, and calibration metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    brier_score,
+    commitment_depth,
+    confidence_trajectory,
+    cosine_similarity,
+    divergence_layer,
+    entropy,
+    entropy_profile,
+    expected_calibration_error,
+    js_distance,
+    js_divergence,
+    js_similarity,
+    kl_divergence,
+    layer_stability,
+    normalize_distribution,
+    normalized_entropy,
+    reliability_diagram,
+    total_variation,
+    trajectory_divergence,
+    trajectory_similarity,
+)
+from repro.analysis.trajectory import (
+    pairwise_trajectory_divergences,
+    trajectory_divergence_to_stack,
+)
+from repro.exceptions import ShapeError
+
+
+class TestDivergences:
+    def test_kl_zero_for_identical(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_kl_positive_for_different(self):
+        assert kl_divergence([0.9, 0.1], [0.1, 0.9]) > 0
+
+    def test_js_symmetric_and_bounded(self):
+        p, q = np.array([0.9, 0.1]), np.array([0.1, 0.9])
+        assert js_divergence(p, q) == pytest.approx(js_divergence(q, p))
+        assert 0 <= js_divergence(p, q) <= np.log(2) + 1e-12
+
+    def test_js_similarity_range(self):
+        assert js_similarity([1.0, 0.0], [1.0, 0.0]) == pytest.approx(1.0)
+        assert js_similarity([1.0, 0.0], [0.0, 1.0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_js_distance_is_sqrt_of_divergence(self):
+        p, q = np.array([0.7, 0.3]), np.array([0.4, 0.6])
+        assert js_distance(p, q) == pytest.approx(np.sqrt(js_divergence(p, q)))
+
+    def test_total_variation(self):
+        assert total_variation([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+        assert total_variation([0.5, 0.5], [0.5, 0.5]) == pytest.approx(0.0)
+
+    def test_cosine_similarity(self):
+        assert cosine_similarity([1.0, 0.0], [1.0, 0.0]) == pytest.approx(1.0)
+        assert cosine_similarity([1.0, 0.0], [0.0, 1.0]) == pytest.approx(0.0)
+
+    def test_entropy_uniform_is_log_k(self):
+        assert entropy([0.25] * 4) == pytest.approx(np.log(4))
+        assert normalized_entropy([0.25] * 4) == pytest.approx(1.0)
+        assert normalized_entropy([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_normalize_distribution_handles_zeros_and_negatives(self):
+        out = normalize_distribution(np.array([-1.0, 0.0, 0.0]))
+        np.testing.assert_allclose(out.sum(), 1.0)
+        out = normalize_distribution(np.array([0.0, 0.0]))
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            js_divergence([0.5, 0.5], [0.3, 0.3, 0.4])
+
+    def test_batched_divergence(self):
+        p = np.array([[0.9, 0.1], [0.5, 0.5]])
+        q = np.array([[0.9, 0.1], [0.1, 0.9]])
+        divs = js_divergence(p, q, axis=1)
+        assert divs.shape == (2,)
+        assert divs[0] == pytest.approx(0.0, abs=1e-12)
+        assert divs[1] > 0
+
+
+def make_trajectory(rows):
+    return np.array(rows, dtype=np.float64)
+
+
+class TestTrajectoryStatistics:
+    def test_divergence_layer_finds_first_mismatch(self):
+        traj = make_trajectory([[0.8, 0.2], [0.6, 0.4], [0.3, 0.7]])
+        assert divergence_layer(traj, true_class=0) == 2
+        assert divergence_layer(traj, true_class=1) == 0
+
+    def test_divergence_layer_never_diverging(self):
+        traj = make_trajectory([[0.9, 0.1], [0.8, 0.2]])
+        assert divergence_layer(traj, 0) == 2
+
+    def test_commitment_depth(self):
+        traj = make_trajectory([[0.8, 0.2], [0.4, 0.6], [0.3, 0.7], [0.2, 0.8]])
+        assert commitment_depth(traj, predicted_class=1) == pytest.approx(0.75)
+        assert commitment_depth(traj, predicted_class=0) == pytest.approx(0.0)
+
+    def test_confidence_trajectory(self):
+        traj = make_trajectory([[0.8, 0.2], [0.3, 0.7]])
+        np.testing.assert_allclose(confidence_trajectory(traj, 1), [0.2, 0.7])
+
+    def test_entropy_profile_shape_and_range(self):
+        traj = make_trajectory([[0.5, 0.5], [1.0, 0.0]])
+        profile = entropy_profile(traj)
+        assert profile.shape == (2,)
+        assert profile[0] == pytest.approx(1.0)
+        assert profile[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_trajectory_similarity_self_is_one(self):
+        traj = make_trajectory([[0.5, 0.5], [0.9, 0.1]])
+        assert trajectory_similarity(traj, traj) == pytest.approx(1.0)
+        assert trajectory_divergence(traj, traj) == pytest.approx(0.0, abs=1e-12)
+
+    def test_layer_stability(self):
+        static = make_trajectory([[0.6, 0.4]] * 4)
+        assert layer_stability(static) == pytest.approx(1.0)
+        flipping = make_trajectory([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert layer_stability(flipping) < 0.2
+
+    def test_stack_divergence_matches_loop(self):
+        rng = np.random.default_rng(0)
+        traj = rng.dirichlet(np.ones(3), size=4)
+        stack = rng.dirichlet(np.ones(3), size=(5, 4))
+        batch = trajectory_divergence_to_stack(traj, stack)
+        loop = np.array([trajectory_divergence(traj, member) for member in stack])
+        np.testing.assert_allclose(batch, loop, atol=1e-12)
+
+    def test_pairwise_divergences_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(1)
+        stack = rng.dirichlet(np.ones(3), size=(4, 2))
+        matrix = pairwise_trajectory_divergences(stack)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-12)
+
+    def test_out_of_range_class_rejected(self):
+        traj = make_trajectory([[0.5, 0.5]])
+        with pytest.raises(ShapeError):
+            divergence_layer(traj, 5)
+        with pytest.raises(ShapeError):
+            commitment_depth(traj, -1)
+
+
+class TestCalibrationMetrics:
+    def test_perfectly_calibrated_predictions(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        labels = np.array([0, 1, 0])
+        assert expected_calibration_error(probs, labels) == pytest.approx(0.0)
+        assert brier_score(probs, labels) == pytest.approx(0.0)
+
+    def test_overconfident_wrong_predictions(self):
+        probs = np.array([[1.0, 0.0]] * 4)
+        labels = np.array([1, 1, 1, 1])
+        assert expected_calibration_error(probs, labels) == pytest.approx(1.0)
+        assert brier_score(probs, labels) == pytest.approx(2.0)
+
+    def test_reliability_diagram_bins(self):
+        probs = np.array([[0.55, 0.45], [0.95, 0.05]])
+        labels = np.array([0, 0])
+        bins = reliability_diagram(probs, labels, num_bins=10)
+        assert len(bins) == 10
+        assert sum(b.count for b in bins) == 2
+
+    def test_empty_inputs(self):
+        assert expected_calibration_error(np.zeros((0, 2)), np.zeros(0, dtype=int)) == 0.0
+        assert brier_score(np.zeros((0, 2)), np.zeros(0, dtype=int)) == 0.0

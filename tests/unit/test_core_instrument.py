@@ -1,0 +1,227 @@
+"""Tests for softmax instrumentation, footprints, patterns, and specifics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Footprint,
+    FootprintExtractor,
+    PatternLibrary,
+    SoftmaxInstrumentedModel,
+    SoftmaxProbe,
+    compute_specifics,
+    pool_activation,
+)
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+from tests.conftest import make_tiny_model
+
+
+class TestPoolActivation:
+    def test_dense_activations_pass_through(self):
+        x = np.random.default_rng(0).random((5, 7))
+        np.testing.assert_allclose(pool_activation(x), x)
+
+    def test_small_conv_activations_are_flattened(self):
+        x = np.random.default_rng(0).random((5, 3, 4, 4))
+        out = pool_activation(x, max_spatial=4)
+        assert out.shape == (5, 3 * 16)
+
+    def test_large_conv_activations_are_pooled(self):
+        x = np.ones((2, 3, 12, 12))
+        out = pool_activation(x, max_spatial=4)
+        assert out.shape == (2, 3 * 16)
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ShapeError):
+            pool_activation(np.zeros((2, 3, 4)))
+
+
+class TestSoftmaxProbe:
+    def test_fit_and_predict_proba(self):
+        rng = np.random.default_rng(0)
+        # Two linearly separable blobs.
+        features = np.vstack([rng.normal(-2, 0.3, size=(30, 5)), rng.normal(2, 0.3, size=(30, 5))])
+        labels = np.repeat([0, 1], 30)
+        probe = SoftmaxProbe("layer", num_classes=2, epochs=20, rng=0)
+        probe.fit(features, labels)
+        probs = probe.predict_proba(features)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+        assert probe.training_accuracy > 0.95
+        assert probe.validation_accuracy > 0.9
+
+    def test_predict_before_fit_raises(self):
+        probe = SoftmaxProbe("layer", num_classes=3)
+        with pytest.raises(NotFittedError):
+            probe.predict_proba(np.zeros((2, 4)))
+
+    def test_feature_dimension_mismatch_after_fit(self):
+        probe = SoftmaxProbe("layer", num_classes=2, epochs=2, rng=0)
+        probe.fit(np.random.default_rng(0).random((10, 4)), np.repeat([0, 1], 5))
+        with pytest.raises(ShapeError):
+            probe.predict_proba(np.zeros((2, 5)))
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            SoftmaxProbe("layer", num_classes=1)
+        with pytest.raises(ConfigurationError):
+            SoftmaxProbe("layer", num_classes=3, epochs=0)
+        with pytest.raises(ConfigurationError):
+            SoftmaxProbe("layer", num_classes=3, validation_fraction=1.0)
+
+
+class TestSoftmaxInstrumentedModel:
+    def test_fit_trains_one_probe_per_hidden_layer(self, trained_tiny_model, tiny_splits):
+        train, _ = tiny_splits
+        instrumented = SoftmaxInstrumentedModel(trained_tiny_model, probe_epochs=3, rng=0).fit(train)
+        assert instrumented.is_fitted
+        assert instrumented.num_layers == len(trained_tiny_model.hidden_layer_names())
+        accuracies = instrumented.probe_accuracies()
+        assert set(accuracies) == set(trained_tiny_model.hidden_layer_names())
+        assert all(0.0 <= v <= 1.0 for v in accuracies.values())
+        assert 0.0 <= instrumented.feature_quality() <= 1.0
+
+    def test_layer_distributions_shapes(self, fitted_deepmorph, tiny_splits):
+        _, test = tiny_splits
+        inputs, _ = test.arrays()
+        trajectories, final = fitted_deepmorph.instrumented.layer_distributions(inputs[:6])
+        assert trajectories.shape == (6, fitted_deepmorph.instrumented.num_layers, test.num_classes)
+        np.testing.assert_allclose(trajectories.sum(axis=2), 1.0, atol=1e-9)
+        np.testing.assert_allclose(final.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_unknown_layer_name_rejected(self, trained_tiny_model):
+        with pytest.raises(ConfigurationError):
+            SoftmaxInstrumentedModel(trained_tiny_model, layer_names=["nope"])
+
+    def test_unfitted_access_raises(self, trained_tiny_model):
+        instrumented = SoftmaxInstrumentedModel(trained_tiny_model)
+        with pytest.raises(NotFittedError):
+            instrumented.probe_accuracies()
+        with pytest.raises(NotFittedError):
+            instrumented.layer_distributions(np.zeros((1, 1, 10, 10)))
+
+    def test_backbone_parameters_are_untouched_by_fit(self, tiny_splits):
+        train, _ = tiny_splits
+        model = make_tiny_model()
+        before = [p.data.copy() for p in model.parameters()]
+        SoftmaxInstrumentedModel(model, probe_epochs=2, rng=0).fit(train)
+        after = [p.data for p in model.parameters()]
+        for b, a in zip(before, after):
+            np.testing.assert_allclose(b, a)
+
+
+class TestFootprint:
+    def _footprint(self, true_label=0):
+        trajectory = np.array([[0.6, 0.3, 0.1], [0.2, 0.7, 0.1], [0.1, 0.8, 0.1]])
+        final = np.array([0.15, 0.75, 0.1])
+        return Footprint(trajectory=trajectory, final_probs=final, predicted=1, true_label=true_label)
+
+    def test_basic_properties(self):
+        fp = self._footprint()
+        assert fp.num_layers == 3
+        assert fp.num_classes == 3
+        assert fp.is_misclassified is True
+        assert fp.final_confidence == pytest.approx(0.75)
+
+    def test_divergence_and_commitment(self):
+        fp = self._footprint(true_label=0)
+        assert fp.divergence_layer() == 1
+        assert fp.commitment_depth() == pytest.approx(2 / 3)
+
+    def test_full_trajectory_appends_final_row(self):
+        fp = self._footprint()
+        assert fp.full_trajectory().shape == (4, 3)
+
+    def test_missing_label(self):
+        fp = Footprint(
+            trajectory=np.array([[0.5, 0.5]]), final_probs=np.array([0.5, 0.5]), predicted=0
+        )
+        assert fp.is_misclassified is None
+        assert fp.divergence_layer() is None
+
+    def test_validation_of_shapes(self):
+        with pytest.raises(ShapeError):
+            Footprint(trajectory=np.array([0.5, 0.5]), final_probs=np.array([0.5, 0.5]), predicted=0)
+        with pytest.raises(ShapeError):
+            Footprint(
+                trajectory=np.array([[0.5, 0.5]]), final_probs=np.array([0.5, 0.5, 0.0]), predicted=0
+            )
+
+    def test_extractor_produces_labeled_footprints(self, fitted_deepmorph, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        extractor = FootprintExtractor(fitted_deepmorph.instrumented)
+        footprints = extractor.extract(inputs[:5], labels[:5])
+        assert len(footprints) == 5
+        assert all(fp.true_label == int(labels[i]) for i, fp in enumerate(footprints))
+        assert all(fp.layer_names == tuple(fitted_deepmorph.instrumented.layer_names) for fp in footprints)
+
+    def test_extractor_label_size_mismatch(self, fitted_deepmorph, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        extractor = FootprintExtractor(fitted_deepmorph.instrumented)
+        with pytest.raises(ShapeError):
+            extractor.extract(inputs[:5], labels[:4])
+
+
+class TestPatternLibrary:
+    def test_fit_produces_pattern_per_class(self, fitted_deepmorph):
+        library = fitted_deepmorph.patterns
+        assert library.is_fitted
+        assert library.classes() == list(range(4))
+        for class_id in library.classes():
+            pattern = library.pattern(class_id)
+            assert pattern.mean_trajectory.shape[1] == 4
+            np.testing.assert_allclose(pattern.mean_trajectory.sum(axis=1), 1.0, atol=1e-6)
+            assert pattern.support > 0
+            assert pattern.dispersion >= 0.0
+
+    def test_similarity_prefers_own_class(self, fitted_deepmorph, tiny_splits):
+        train, _ = tiny_splits
+        inputs, labels = train.arrays()
+        footprints = fitted_deepmorph.extract_footprints(inputs[:10], labels[:10])
+        library = fitted_deepmorph.patterns
+        own = [library.similarity(fp, fp.true_label) for fp in footprints]
+        assert np.mean(own) > 0.5
+
+    def test_best_match_returns_valid_class(self, fitted_deepmorph, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        fp = fitted_deepmorph.extract_footprints(inputs[:1], labels[:1])[0]
+        best_class, best_sim = fitted_deepmorph.patterns.best_match(fp)
+        assert best_class in fitted_deepmorph.patterns.classes()
+        assert 0.0 <= best_sim <= 1.0
+
+    def test_pattern_overlap_in_unit_range(self, fitted_deepmorph):
+        overlap = fitted_deepmorph.patterns.pattern_overlap()
+        assert 0.0 <= overlap <= 1.0
+
+    def test_unknown_class_pattern_raises(self, fitted_deepmorph):
+        with pytest.raises(KeyError):
+            fitted_deepmorph.patterns.pattern(99)
+
+    def test_unfitted_library_raises(self, fitted_deepmorph):
+        library = PatternLibrary(fitted_deepmorph.instrumented)
+        with pytest.raises(NotFittedError):
+            library.classes()
+
+
+class TestSpecifics:
+    def test_compute_specifics_ranges(self, fitted_deepmorph, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        footprints = fitted_deepmorph.extract_footprints(inputs, labels)
+        specs = fitted_deepmorph.compute_specifics(footprints[:10])
+        for spec in specs:
+            payload = spec.as_dict()
+            for key, value in payload.items():
+                if key in ("predicted", "true_label", "best_match_class"):
+                    continue
+                assert 0.0 <= value <= 1.0, f"{key}={value} out of range"
+
+    def test_specifics_require_true_label(self, fitted_deepmorph, tiny_splits):
+        _, test = tiny_splits
+        inputs, _ = test.arrays()
+        fp = fitted_deepmorph.extract_footprints(inputs[:1])[0]
+        with pytest.raises(ConfigurationError):
+            compute_specifics(fp, fitted_deepmorph.patterns)

@@ -1,0 +1,192 @@
+"""Tests for the experiment harness configuration, Table 1 plumbing, and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import diagnose as cli_diagnose
+from repro.cli import inject as cli_inject
+from repro.cli import table1 as cli_table1
+from repro.cli import train as cli_train
+from repro.core import DefectClassifierConfig
+from repro.defects import DefectType
+from repro.exceptions import ConfigurationError, ExperimentError
+from repro.experiments import (
+    MODEL_DATASETS,
+    PAPER_TABLE1,
+    ExperimentSettings,
+    fit_weights,
+    model_hyperparameters,
+    preset,
+)
+from repro.experiments.calibrate import CalibrationExample, describe_weights
+from repro.experiments.config import PRESETS
+from repro.experiments.runner import make_dataset, make_model
+from repro.experiments.table1 import Table1Result, Table1Row, format_table1
+
+
+SMOKE = preset("smoke")
+
+
+class TestExperimentSettings:
+    def test_defaults_are_valid(self):
+        settings = ExperimentSettings()
+        assert settings.model in MODEL_DATASETS
+
+    def test_for_model_switches_dataset(self):
+        settings = ExperimentSettings().for_model("resnet")
+        assert settings.model == "resnet"
+        assert settings.dataset == "cifar"
+
+    def test_with_seed(self):
+        assert ExperimentSettings().with_seed(5).seed == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(dataset="imagenet")
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(model="vgg")
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(epochs=0)
+
+    def test_presets_exist(self):
+        assert set(PRESETS) == {"default", "quick", "smoke", "paper"}
+        with pytest.raises(ConfigurationError):
+            preset("gigantic")
+
+    def test_model_hyperparameters_cover_all_models(self):
+        for model in MODEL_DATASETS:
+            assert model_hyperparameters(model)
+            assert model_hyperparameters(model, scale="paper")
+        with pytest.raises(ConfigurationError):
+            model_hyperparameters("vgg")
+
+    def test_paper_scale_resnet_is_resnet34_layout(self):
+        assert model_hyperparameters("resnet", scale="paper")["block_counts"] == [3, 4, 6, 3]
+        assert model_hyperparameters("densenet", scale="paper")["units_per_block"] == [12, 12, 12]
+
+
+class TestRunnerPlumbing:
+    def test_make_dataset_shapes(self):
+        _, train, test = make_dataset(SMOKE)
+        assert train.input_shape == (1, 14, 14)
+        assert train.num_classes == 10
+        assert len(train) == SMOKE.train_per_class * 10
+        assert len(test) == SMOKE.test_per_class * 10
+
+    def test_make_dataset_is_deterministic(self):
+        _, train_a, _ = make_dataset(SMOKE)
+        _, train_b, _ = make_dataset(SMOKE)
+        np.testing.assert_allclose(train_a.inputs, train_b.inputs)
+
+    def test_make_model_matches_dataset(self):
+        model = make_model(SMOKE.for_model("resnet"))
+        assert model.kind == "resnet"
+        assert model.input_shape == (3, 16, 16)
+
+
+class TestTable1Structures:
+    def test_paper_table_has_all_twelve_cells(self):
+        assert len(PAPER_TABLE1) == 12
+        for (model, defect), ratios in PAPER_TABLE1.items():
+            assert model in MODEL_DATASETS
+            assert defect in {"itd", "utd", "sd"}
+            assert len(ratios) == 3
+
+    def test_paper_table_is_diagonally_dominant(self):
+        order = ["itd", "utd", "sd"]
+        for (model, defect), ratios in PAPER_TABLE1.items():
+            assert int(np.argmax(ratios)) == order.index(defect)
+
+    def test_row_and_result_helpers(self):
+        row = Table1Row(
+            model="lenet",
+            dataset="mnist",
+            injected_defect=DefectType.ITD,
+            ratios={DefectType.ITD: 0.6, DefectType.UTD: 0.25, DefectType.SD: 0.15},
+            dominant_defect=DefectType.ITD,
+            test_accuracy=0.8,
+            num_faulty_cases=40,
+        )
+        assert row.diagonal_correct
+        assert row.paper_ratios() == PAPER_TABLE1[("lenet", "itd")]
+        result = Table1Result(rows=[row])
+        assert result.diagonal_accuracy == 1.0
+        assert result.row("lenet", "itd") is row
+        with pytest.raises(KeyError):
+            result.row("lenet", "utd")
+        rendered = format_table1(result)
+        assert "lenet" in rendered and "diagonal dominance" in rendered
+
+    def test_run_table1_rejects_unknown_model(self):
+        from repro.experiments import run_table1
+
+        with pytest.raises(ExperimentError):
+            run_table1(models=["vgg"], settings=SMOKE)
+
+
+class TestCalibrationFit:
+    def test_fit_weights_separates_synthetic_clusters(self):
+        from repro.core import FEATURE_NAMES
+
+        rng = np.random.default_rng(0)
+        num_features = len(FEATURE_NAMES)
+        examples = []
+        for label_index, defect in enumerate([DefectType.ITD, DefectType.UTD, DefectType.SD]):
+            center = np.zeros(num_features)
+            center[1 + label_index] = 3.0
+            for _ in range(30):
+                features = center + rng.normal(0, 0.1, size=num_features)
+                features[0] = 1.0
+                examples.append(CalibrationExample(features=features, label=defect, model="lenet"))
+        config, metrics = fit_weights(examples, epochs=150)
+        assert isinstance(config, DefectClassifierConfig)
+        assert metrics["train_accuracy"] > 0.95
+        assert "feature_quality" in describe_weights(config)
+
+    def test_fit_weights_rejects_empty(self):
+        with pytest.raises(ExperimentError):
+            fit_weights([])
+
+
+class TestCli:
+    def test_train_and_diagnose_cli_round_trip(self, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        exit_code = cli_train.main([
+            "--preset", "smoke", "--model", "lenet", "--output", str(model_path),
+        ])
+        assert exit_code == 0
+        assert model_path.exists()
+
+        report_path = tmp_path / "report.json"
+        exit_code = cli_diagnose.main([
+            "--preset", "smoke", "--model", "lenet",
+            "--model-file", str(model_path), "--report", str(report_path),
+        ])
+        assert exit_code == 0
+        assert report_path.exists()
+        payload = json.loads(report_path.read_text())
+        assert set(payload["ratios"]) == {"itd", "utd", "sd"}
+        captured = capsys.readouterr()
+        assert "dominant defect" in captured.out
+
+    def test_inject_cli_json_output(self, capsys):
+        exit_code = cli_inject.main([
+            "--preset", "smoke", "--model", "lenet", "--defect", "utd", "--json",
+        ])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["injected_defect"] == "utd"
+        assert payload["model"] == "lenet"
+
+    def test_table1_cli_single_cell(self, tmp_path, capsys):
+        json_path = tmp_path / "table1.json"
+        exit_code = cli_table1.main([
+            "--preset", "smoke", "--models", "lenet", "--defects", "utd",
+            "--json", str(json_path),
+        ])
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        assert len(payload["rows"]) == 1
+        assert "diagonal dominance" in capsys.readouterr().out

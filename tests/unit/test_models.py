@@ -1,0 +1,144 @@
+"""Tests for the model zoo and registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.models import (
+    AlexNet,
+    DenseNet,
+    LeNet,
+    ResNet,
+    available_models,
+    build_from_config,
+    build_model,
+)
+
+
+BATCH = 3
+
+
+@pytest.fixture(scope="module")
+def mnist_batch():
+    return np.random.default_rng(0).random((BATCH, 1, 14, 14))
+
+
+@pytest.fixture(scope="module")
+def cifar_batch():
+    return np.random.default_rng(1).random((BATCH, 3, 16, 16))
+
+
+class TestLeNet:
+    def test_forward_shape_and_stages(self, mnist_batch):
+        model = LeNet(input_shape=(1, 14, 14), num_classes=10, rng=0)
+        logits = model.forward(mnist_batch)
+        assert logits.shape == (BATCH, 10)
+        assert model.stage_names()[-1] == "logits"
+        assert len(model.hidden_layer_names()) == len(model.stage_names()) - 1
+
+    def test_pure_mlp_variant(self, mnist_batch):
+        model = LeNet(input_shape=(1, 14, 14), num_classes=10, conv_channels=(), rng=0)
+        assert model.forward(mnist_batch).shape == (BATCH, 10)
+
+    def test_rejects_empty_dense_units(self):
+        with pytest.raises(ConfigurationError):
+            LeNet(dense_units=())
+
+    def test_input_shape_validation(self, cifar_batch):
+        model = LeNet(input_shape=(1, 14, 14), num_classes=10, rng=0)
+        with pytest.raises(ShapeError):
+            model.forward(cifar_batch)
+
+    def test_predict_helpers(self, mnist_batch):
+        model = LeNet(input_shape=(1, 14, 14), num_classes=10, rng=0)
+        probs = model.predict_proba(mnist_batch)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+        preds = model.predict(mnist_batch)
+        assert preds.shape == (BATCH,)
+        assert np.all((preds >= 0) & (preds < 10))
+
+    def test_forward_collect_returns_all_stages(self, mnist_batch):
+        model = LeNet(input_shape=(1, 14, 14), num_classes=10, rng=0)
+        logits, acts = model.forward_collect(mnist_batch)
+        assert list(acts) == model.stage_names()
+        np.testing.assert_allclose(acts["logits"], logits)
+
+
+class TestAlexNet:
+    def test_forward_shape(self, mnist_batch):
+        model = AlexNet(input_shape=(1, 14, 14), num_classes=10, rng=0)
+        assert model.forward(mnist_batch).shape == (BATCH, 10)
+
+    def test_has_five_conv_stages_by_default(self):
+        model = AlexNet(rng=0)
+        conv_stages = [name for name in model.stage_names() if name.startswith("conv")]
+        assert len(conv_stages) == 5
+
+    def test_dropout_validation(self):
+        with pytest.raises(ConfigurationError):
+            AlexNet(dropout=1.0)
+
+
+class TestResNet:
+    def test_forward_shape(self, cifar_batch):
+        model = ResNet(input_shape=(3, 16, 16), num_classes=10, rng=0)
+        assert model.forward(cifar_batch).shape == (BATCH, 10)
+
+    def test_block_counts_control_depth(self):
+        shallow = ResNet(block_counts=(1,), base_channels=8, rng=0)
+        deep = ResNet(block_counts=(2, 2), base_channels=8, rng=0)
+        assert len(deep.stage_names()) > len(shallow.stage_names())
+
+    def test_rejects_empty_block_counts(self):
+        with pytest.raises(ConfigurationError):
+            ResNet(block_counts=())
+
+
+class TestDenseNet:
+    def test_forward_shape(self, cifar_batch):
+        model = DenseNet(input_shape=(3, 16, 16), num_classes=10, rng=0)
+        assert model.forward(cifar_batch).shape == (BATCH, 10)
+
+    def test_has_transitions_between_blocks(self):
+        model = DenseNet(units_per_block=(2, 2, 2), rng=0)
+        names = model.stage_names()
+        assert any(name.startswith("transition") for name in names)
+        assert sum(name.startswith("dense") for name in names) == 3
+
+    def test_compression_validation(self):
+        with pytest.raises(ConfigurationError):
+            DenseNet(compression=0.0)
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert set(available_models()) == {"lenet", "alexnet", "resnet", "densenet"}
+
+    def test_build_model_by_name(self, mnist_batch):
+        model = build_model("lenet", (1, 14, 14), 10, rng=0)
+        assert model.kind == "lenet"
+        assert model.forward(mnist_batch).shape == (BATCH, 10)
+
+    def test_build_model_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            build_model("vgg", (1, 14, 14), 10)
+
+    def test_config_roundtrip_preserves_architecture(self):
+        original = ResNet(input_shape=(3, 16, 16), num_classes=10,
+                          base_channels=8, block_counts=(1, 2), rng=0)
+        rebuilt = build_from_config(original.config(), rng=1)
+        assert rebuilt.kind == original.kind
+        assert rebuilt.stage_names() == original.stage_names()
+        assert rebuilt.num_parameters() == original.num_parameters()
+
+    def test_build_from_config_requires_keys(self):
+        with pytest.raises(ConfigurationError):
+            build_from_config({"kind": "lenet"})
+
+    def test_backward_runs_through_whole_model(self, mnist_batch):
+        model = LeNet(input_shape=(1, 14, 14), num_classes=10,
+                      conv_channels=(4,), dense_units=(16,), rng=0)
+        logits = model.forward(mnist_batch)
+        grad_in = model.backward(np.ones_like(logits))
+        assert grad_in.shape == mnist_batch.shape
+        assert all(p.grad is not None for p in model.parameters() if p.trainable)

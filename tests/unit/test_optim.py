@@ -1,0 +1,165 @@
+"""Tests for optimizers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import Dense
+from repro.nn.module import Parameter
+from repro.optim import (
+    SGD,
+    Adam,
+    AdamW,
+    ConstantSchedule,
+    CosineAnnealing,
+    ExponentialDecay,
+    PiecewiseSchedule,
+    RMSProp,
+    StepDecay,
+    WarmupSchedule,
+    clip_gradients,
+    get_optimizer,
+    get_schedule,
+)
+
+
+def quadratic_param(start=5.0):
+    """A single scalar parameter with gradient d/dx (x^2) = 2x."""
+    return Parameter(np.array([start]))
+
+
+def run_steps(optimizer, param, steps=200):
+    for _ in range(steps):
+        param.zero_grad()
+        param.accumulate_grad(2.0 * param.data)
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("cls,kwargs", [
+        (SGD, {"lr": 0.1}),
+        (SGD, {"lr": 0.05, "momentum": 0.9}),
+        (SGD, {"lr": 0.05, "momentum": 0.9, "nesterov": True}),
+        (Adam, {"lr": 0.2}),
+        (AdamW, {"lr": 0.2, "weight_decay": 0.01}),
+        (RMSProp, {"lr": 0.05}),
+    ])
+    def test_optimizers_minimize_quadratic(self, cls, kwargs):
+        param = quadratic_param()
+        optimizer = cls([param], **kwargs)
+        final = run_steps(optimizer, param)
+        assert abs(final) < 0.1
+
+    def test_sgd_single_step_update_rule(self):
+        param = Parameter(np.array([1.0]))
+        param.accumulate_grad(np.array([0.5]))
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, [0.95])
+
+    def test_frozen_parameters_are_not_updated(self):
+        param = Parameter(np.array([1.0]), trainable=False)
+        param.accumulate_grad(np.array([1.0]))
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, [1.0])
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([1.0]))
+        param.accumulate_grad(np.array([0.0]))
+        SGD([param], lr=0.1, weight_decay=0.5).step()
+        assert param.data[0] < 1.0
+
+    def test_optimizer_requires_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+
+    def test_invalid_hyperparameters(self):
+        param = quadratic_param()
+        with pytest.raises(ConfigurationError):
+            SGD([param], lr=-1)
+        with pytest.raises(ConfigurationError):
+            SGD([param], lr=0.1, momentum=1.5)
+        with pytest.raises(ConfigurationError):
+            SGD([param], lr=0.1, nesterov=True)
+        with pytest.raises(ConfigurationError):
+            Adam([param], lr=0.1, beta1=1.0)
+
+    def test_zero_grad_clears_all(self):
+        layer = Dense(3, 2, rng=0)
+        optimizer = Adam(layer.parameters())
+        layer.forward(np.ones((1, 3)))
+        layer.backward(np.ones((1, 2)))
+        assert any(p.grad is not None for p in layer.parameters())
+        optimizer.zero_grad()
+        assert all(p.grad is None for p in layer.parameters())
+
+    def test_registry(self):
+        param = quadratic_param()
+        assert isinstance(get_optimizer("adam", [param]), Adam)
+        assert isinstance(get_optimizer("sgd", [param], lr=0.5), SGD)
+        with pytest.raises(ConfigurationError):
+            get_optimizer("unknown", [param])
+
+    def test_clip_gradients_scales_to_max_norm(self):
+        params = [Parameter(np.zeros(4)) for _ in range(2)]
+        for p in params:
+            p.accumulate_grad(np.full(4, 3.0))
+        pre_norm = clip_gradients(params, max_norm=1.0)
+        assert pre_norm > 1.0
+        total = np.sqrt(sum(float(np.sum(p.grad ** 2)) for p in params))
+        np.testing.assert_allclose(total, 1.0, rtol=1e-9)
+
+    def test_clip_gradients_noop_below_threshold(self):
+        param = Parameter(np.zeros(2))
+        param.accumulate_grad(np.array([0.1, 0.1]))
+        clip_gradients([param], max_norm=10.0)
+        np.testing.assert_allclose(param.grad, [0.1, 0.1])
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.1)
+        assert schedule(0) == schedule(100) == 0.1
+
+    def test_step_decay(self):
+        schedule = StepDecay(1.0, step_size=2, gamma=0.1)
+        assert schedule(0) == 1.0
+        assert schedule(2) == pytest.approx(0.1)
+        assert schedule(4) == pytest.approx(0.01)
+
+    def test_exponential_decay_monotone(self):
+        schedule = ExponentialDecay(1.0, gamma=0.9)
+        values = [schedule(e) for e in range(5)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_cosine_annealing_endpoints(self):
+        schedule = CosineAnnealing(1.0, total_epochs=10, min_lr=0.1)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(10) == pytest.approx(0.1)
+
+    def test_warmup_then_inner(self):
+        schedule = WarmupSchedule(ConstantSchedule(1.0), warmup_epochs=4)
+        assert schedule(0) == pytest.approx(0.25)
+        assert schedule(3) == pytest.approx(1.0)
+        assert schedule(10) == pytest.approx(1.0)
+
+    def test_piecewise(self):
+        schedule = PiecewiseSchedule([5, 10], [0.1, 0.01, 0.001])
+        assert schedule(0) == 0.1
+        assert schedule(7) == 0.01
+        assert schedule(50) == 0.001
+
+    def test_piecewise_validation(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseSchedule([5], [0.1])
+        with pytest.raises(ConfigurationError):
+            PiecewiseSchedule([10, 5], [0.1, 0.01, 0.001])
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.1)(-1)
+
+    def test_registry(self):
+        assert isinstance(get_schedule("cosine", 0.1, total_epochs=5), CosineAnnealing)
+        with pytest.raises(ConfigurationError):
+            get_schedule("unknown", 0.1)

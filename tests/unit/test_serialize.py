@@ -1,0 +1,115 @@
+"""Tests for model / footprint / report persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import DefectCaseClassifier, DiagnosisContext, Footprint
+from repro.exceptions import SerializationError
+from repro.models import LeNet, ResNet
+from repro.serialize import (
+    load_footprints,
+    load_model,
+    load_report,
+    save_footprints,
+    save_model,
+    save_report,
+)
+from tests.unit.test_core_classifier import make_specifics
+
+
+class TestModelPersistence:
+    def test_round_trip_preserves_predictions(self, tmp_path):
+        model = LeNet(input_shape=(1, 10, 10), num_classes=4, conv_channels=(3,),
+                      dense_units=(12,), kernel_size=3, rng=0)
+        x = np.random.default_rng(0).random((5, 1, 10, 10))
+        expected = model.predict_logits(x)
+
+        path = save_model(model, tmp_path / "model.npz")
+        restored = load_model(path)
+        np.testing.assert_allclose(restored.predict_logits(x), expected, atol=1e-12)
+        assert restored.kind == "lenet"
+        assert restored.num_parameters() == model.num_parameters()
+
+    def test_round_trip_resnet(self, tmp_path):
+        model = ResNet(input_shape=(3, 16, 16), num_classes=10,
+                       base_channels=4, block_counts=(1,), rng=0)
+        x = np.random.default_rng(1).random((2, 3, 16, 16))
+        path = save_model(model, tmp_path / "resnet.npz")
+        restored = load_model(path)
+        np.testing.assert_allclose(restored.predict_logits(x), model.predict_logits(x), atol=1e-12)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_model(tmp_path / "missing.npz")
+
+    def test_load_rejects_non_model_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, values=np.arange(3))
+        with pytest.raises(SerializationError):
+            load_model(path)
+
+
+class TestFootprintPersistence:
+    def _footprints(self, n=4):
+        rng = np.random.default_rng(0)
+        out = []
+        for _ in range(n):
+            trajectory = rng.dirichlet(np.ones(3), size=2)
+            final = rng.dirichlet(np.ones(3))
+            out.append(Footprint(
+                trajectory=trajectory,
+                final_probs=final,
+                predicted=int(final.argmax()),
+                true_label=int(rng.integers(0, 3)),
+                layer_names=("a", "b"),
+            ))
+        return out
+
+    def test_round_trip(self, tmp_path):
+        footprints = self._footprints()
+        path = save_footprints(footprints, tmp_path / "fp.npz")
+        restored = load_footprints(path)
+        assert len(restored) == len(footprints)
+        for original, loaded in zip(footprints, restored):
+            np.testing.assert_allclose(loaded.trajectory, original.trajectory)
+            np.testing.assert_allclose(loaded.final_probs, original.final_probs)
+            assert loaded.predicted == original.predicted
+            assert loaded.true_label == original.true_label
+            assert loaded.layer_names == original.layer_names
+
+    def test_unlabeled_footprints_round_trip(self, tmp_path):
+        fp = Footprint(
+            trajectory=np.array([[0.5, 0.5]]), final_probs=np.array([0.5, 0.5]), predicted=0
+        )
+        restored = load_footprints(save_footprints([fp], tmp_path / "fp.npz"))[0]
+        assert restored.true_label is None
+
+    def test_empty_list_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_footprints([], tmp_path / "fp.npz")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_footprints(tmp_path / "missing.npz")
+
+
+class TestReportPersistence:
+    def test_round_trip(self, tmp_path):
+        report = DefectCaseClassifier().aggregate(
+            [make_specifics()], DiagnosisContext(), metadata={"model": "lenet"}
+        )
+        path = save_report(report, tmp_path / "report.json")
+        payload = load_report(path)
+        assert payload["num_cases"] == 1
+        assert payload["metadata"]["model"] == "lenet"
+        assert set(payload["ratios"]) == {"itd", "utd", "sd"}
+
+    def test_load_rejects_non_report_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(SerializationError):
+            load_report(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_report(tmp_path / "missing.json")
