@@ -2,7 +2,7 @@
 
 import pytest
 
-from .conftest import run_table1_cell
+from table1_harness import run_table1_cell
 
 
 @pytest.mark.benchmark(group="table1-alexnet")

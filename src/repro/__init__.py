@@ -12,12 +12,17 @@ The package is organized as:
 * :mod:`repro.core` — DeepMorph itself: softmax instrumentation, data-flow
   footprints, class execution patterns, and defect reasoning.
 * :mod:`repro.analysis` — divergences and trajectory statistics.
-* :mod:`repro.serialize` — persistence of models, footprints, and reports.
+* :mod:`repro.serialize` — persistence of models, footprints, reports, and
+  fitted DeepMorph instances.
+* :mod:`repro.serve` — the production serving layer: a named/versioned
+  artifact registry, request batching that coalesces concurrent diagnoses
+  into vectorized footprint extraction, an LRU footprint cache, an async
+  job queue, and a JSON-over-HTTP front end (``repro-serve``).
 * :mod:`repro.experiments` — the Table I reproduction harness.
 * :mod:`repro.cli` — command-line entry points.
 """
 
-from . import analysis, data, defects, models, nn, optim, training
+from . import analysis, data, defects, models, nn, optim, serve, training
 from .core import (
     DeepMorph,
     DefectCaseClassifier,
@@ -40,6 +45,7 @@ from .defects import (
     build_defect,
 )
 from .exceptions import (
+    ArtifactNotFoundError,
     ConfigurationError,
     DatasetError,
     DefectInjectionError,
@@ -47,6 +53,7 @@ from .exceptions import (
     NotFittedError,
     ReproError,
     SerializationError,
+    ServeError,
     ShapeError,
 )
 from .rng import ensure_rng, seed_everything
@@ -63,6 +70,7 @@ __all__ = [
     "models",
     "defects",
     "analysis",
+    "serve",
     # DeepMorph core
     "DeepMorph",
     "find_faulty_cases",
@@ -91,6 +99,8 @@ __all__ = [
     "DefectInjectionError",
     "SerializationError",
     "ExperimentError",
+    "ServeError",
+    "ArtifactNotFoundError",
     # rng
     "ensure_rng",
     "seed_everything",

@@ -1,5 +1,5 @@
-"""Command-line entry points (``repro-train``, ``repro-inject``, ``repro-diagnose``, ``repro-table1``)."""
+"""Command-line entry points (``repro-train``, ``repro-inject``, ``repro-diagnose``, ``repro-table1``, ``repro-serve``)."""
 
-from . import diagnose, inject, table1, train
+from . import diagnose, inject, serve, table1, train
 
-__all__ = ["train", "inject", "diagnose", "table1"]
+__all__ = ["train", "inject", "diagnose", "table1", "serve"]

@@ -1,0 +1,117 @@
+"""``repro-serve``: run the batched, cached diagnosis service over HTTP.
+
+Typical flow: train a model and fit DeepMorph (``repro-train`` + the library
+API), register the fitted instance in an artifact registry directory, then::
+
+    repro-serve --registry ./registry --port 8421
+
+and POST production batches to ``/diagnose``.  ``--list`` prints the
+registry's contents without starting a server, and ``--bootstrap-demo`` fits
+and registers a small demo model first so the quickstart works from an empty
+directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from ..serve import ArtifactRegistry, DiagnosisService, serve_forever
+from .common import add_settings_arguments, run_main, settings_from_args
+
+__all__ = ["main"]
+
+DEMO_MODEL_NAME = "demo"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve DeepMorph diagnoses for registered models over JSON/HTTP.",
+    )
+    add_settings_arguments(parser)
+    parser.add_argument("--registry", required=True, help="artifact registry directory")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8421, help="bind port (0 = ephemeral)")
+    parser.add_argument("--workers", type=int, default=2, help="async job worker threads")
+    parser.add_argument(
+        "--max-batch-cases", type=int, default=512,
+        help="cases coalesced into one extraction batch",
+    )
+    parser.add_argument(
+        "--batch-wait", type=float, default=0.005,
+        help="seconds a request waits for co-travellers before extraction",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="footprint cache capacity in cases (0 disables caching)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_only",
+        help="print the registry contents and exit",
+    )
+    parser.add_argument(
+        "--bootstrap-demo", action="store_true",
+        help=f"train + fit + register a {DEMO_MODEL_NAME!r} model before serving "
+             f"(uses the experiment preset flags)",
+    )
+    parser.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    return parser
+
+
+def _bootstrap_demo(registry: ArtifactRegistry, args: argparse.Namespace) -> None:
+    from ..core import DeepMorph
+    from ..experiments.runner import make_dataset, make_model, train_model
+
+    settings = settings_from_args(args)
+    print(f"bootstrapping demo artifact: {settings.model} on synthetic {settings.dataset} ...")
+    _, train_data, _ = make_dataset(settings)
+    model = make_model(settings)
+    train_model(model, train_data, settings)
+    morph = DeepMorph(probe_epochs=settings.probe_epochs, rng=settings.seed)
+    morph.fit(model, train_data)
+    record = registry.register(
+        DEMO_MODEL_NAME, morph,
+        metadata={"dataset": settings.dataset, "model": settings.model, "seed": settings.seed},
+    )
+    print(f"registered {record.key} ({record.model_kind}, {record.num_classes} classes)")
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    registry = ArtifactRegistry(args.registry)
+
+    if args.bootstrap_demo:
+        _bootstrap_demo(registry, args)
+
+    if args.list_only:
+        records = registry.records()
+        if not records:
+            print(f"registry {args.registry} is empty")
+            return 0
+        for record in records:
+            print(f"{record.key:30s} kind={record.model_kind:10s} "
+                  f"classes={record.num_classes}  {record.path}")
+        return 0
+
+    service = DiagnosisService(
+        registry,
+        max_batch_cases=args.max_batch_cases,
+        batch_wait_seconds=args.batch_wait,
+        cache_size=args.cache_size,
+        num_workers=args.workers,
+    )
+    try:
+        serve_forever(service, host=args.host, port=args.port, verbose=args.verbose)
+    finally:
+        service.close()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point."""
+    return run_main(_main, argv)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -31,20 +31,58 @@ from .specifics import FootprintSpecifics, compute_specifics
 __all__ = ["DeepMorph", "find_faulty_cases"]
 
 
+def _dataset_batches(dataset: Dataset, batch_size: int):
+    """Yield ``(inputs, labels)`` array batches without materializing the full set.
+
+    Array-backed datasets are sliced directly (zero-copy views); anything else
+    is assembled batch by batch through ``__getitem__``, so memory stays flat
+    even for lazily-generated production sets.
+    """
+    n = len(dataset)
+    if isinstance(dataset, ArrayDataset):
+        inputs, labels = dataset.inputs, dataset.labels
+        for start in range(0, n, batch_size):
+            yield inputs[start:start + batch_size], labels[start:start + batch_size]
+        return
+    for start in range(0, n, batch_size):
+        pairs = [dataset[i] for i in range(start, min(start + batch_size, n))]
+        yield (
+            np.stack([np.asarray(x, dtype=np.float64) for x, _ in pairs]),
+            np.asarray([y for _, y in pairs], dtype=np.int64),
+        )
+
+
 def find_faulty_cases(
     model: ClassifierModel, dataset: Dataset, batch_size: int = 256
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Identify the misclassified examples of ``dataset``.
 
     Returns ``(inputs, true_labels, predicted_labels)`` of the faulty cases —
-    the paper's "faulty cases found in the test data".
+    the paper's "faulty cases found in the test data".  The dataset is
+    streamed in batches of ``batch_size``; only the faulty rows are ever
+    copied, so memory usage is bounded by the number of faulty cases, not the
+    size of the production set.
     """
     if len(dataset) == 0:
         raise DatasetError("cannot search for faulty cases in an empty dataset")
-    inputs, labels = dataset.arrays()
-    predictions = model.predict(inputs, batch_size=batch_size)
-    mask = predictions != labels
-    return inputs[mask], labels[mask], predictions[mask]
+    faulty_inputs: List[np.ndarray] = []
+    faulty_labels: List[np.ndarray] = []
+    faulty_predictions: List[np.ndarray] = []
+    for batch_inputs, batch_labels in _dataset_batches(dataset, batch_size):
+        predictions = model.predict(batch_inputs, batch_size=batch_size)
+        mask = predictions != batch_labels
+        if mask.any():
+            faulty_inputs.append(np.asarray(batch_inputs[mask], dtype=np.float64))
+            faulty_labels.append(batch_labels[mask])
+            faulty_predictions.append(predictions[mask])
+    if not faulty_inputs:
+        empty = np.zeros((0,) + tuple(dataset.input_shape), dtype=np.float64)
+        return empty, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    return (
+        np.concatenate(faulty_inputs, axis=0),
+        np.concatenate(faulty_labels, axis=0),
+        np.concatenate(faulty_predictions, axis=0),
+    )
 
 
 class DeepMorph:

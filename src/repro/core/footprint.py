@@ -151,9 +151,37 @@ class FootprintExtractor:
         trajectories, final_probs = self.instrumented.layer_distributions(
             inputs, batch_size=self.batch_size
         )
+        return self.from_arrays(trajectories, final_probs, labels)
+
+    def from_arrays(
+        self,
+        trajectories: np.ndarray,
+        final_probs: np.ndarray,
+        labels: Optional[Sequence[int]] = None,
+    ) -> List[Footprint]:
+        """Wrap precomputed ``(trajectories, final_probs)`` arrays into footprints.
+
+        The inverse of :meth:`extract_arrays`: serving layers that cache or
+        batch raw extraction arrays use this to rebuild :class:`Footprint`
+        objects without touching the model again.
+        """
+        trajectories = np.asarray(trajectories, dtype=np.float64)
+        final_probs = np.asarray(final_probs, dtype=np.float64)
+        if trajectories.shape[0] != final_probs.shape[0]:
+            raise ShapeError(
+                f"trajectories and final_probs disagree on batch size: "
+                f"{trajectories.shape[0]} vs {final_probs.shape[0]}"
+            )
+        if labels is not None:
+            labels = np.asarray(labels)
+            if labels.shape[0] != trajectories.shape[0]:
+                raise ShapeError(
+                    f"labels and trajectories disagree on batch size: "
+                    f"{labels.shape[0]} vs {trajectories.shape[0]}"
+                )
         layer_names = tuple(self.instrumented.layer_names)
         footprints: List[Footprint] = []
-        for i in range(inputs.shape[0]):
+        for i in range(trajectories.shape[0]):
             footprints.append(Footprint(
                 trajectory=trajectories[i],
                 final_probs=final_probs[i],
@@ -169,4 +197,22 @@ class FootprintExtractor:
         """Vectorized variant returning ``(trajectories, final_probs)`` arrays."""
         return self.instrumented.layer_distributions(
             np.asarray(inputs, dtype=np.float64), batch_size=self.batch_size
+        )
+
+    def extract_coalesced(
+        self, input_groups: Sequence[np.ndarray]
+    ) -> List[tuple[np.ndarray, np.ndarray]]:
+        """Extract several independent input groups through ONE instrumented pass.
+
+        ``input_groups`` is a sequence of arrays, each ``(n_i, ...)`` with the
+        same per-example shape.  The groups are concatenated, pushed through a
+        single :meth:`SoftmaxInstrumentedModel.layer_distributions` call (so
+        per-call overhead — eval-mode toggling, per-layer probe dispatch — is
+        amortized across all groups), and the resulting arrays are split back
+        into one ``(trajectories, final_probs)`` pair per group.  This is the
+        vectorized substrate of the request batching engine in
+        :mod:`repro.serve`.
+        """
+        return self.instrumented.layer_distributions_grouped(
+            input_groups, batch_size=self.batch_size
         )

@@ -364,6 +364,40 @@ class SoftmaxInstrumentedModel:
         final_probs = F.softmax(logits, axis=1)
         return trajectories, final_probs
 
+    def layer_distributions_grouped(
+        self, input_groups: Sequence[np.ndarray], batch_size: int = 128
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Probe distributions for several independent input groups in ONE pass.
+
+        The groups (each ``(n_i, ...)`` with identical per-example shape) are
+        concatenated, run through a single :meth:`layer_distributions` call —
+        amortizing eval-mode toggling and per-layer probe dispatch across all
+        of them — and split back into one ``(trajectories, final_probs)`` pair
+        per group.  This is the batched extraction primitive the serving layer
+        (:mod:`repro.serve`) coalesces concurrent diagnosis requests onto.
+        """
+        if not self._fitted:
+            raise NotFittedError("instrumented model is not fitted; call fit() first")
+        groups = [np.asarray(g, dtype=np.float64) for g in input_groups]
+        if not groups:
+            return []
+        sizes = [g.shape[0] for g in groups]
+        if sum(sizes) == 0:
+            empty = np.zeros((0, self.num_layers, self.num_classes), dtype=np.float64)
+            return [(empty, empty[:, 0, :]) for _ in groups]
+        trajectories, final_probs = self.layer_distributions(
+            np.concatenate(groups, axis=0), batch_size=batch_size
+        )
+        results: List[Tuple[np.ndarray, np.ndarray]] = []
+        offset = 0
+        for size in sizes:
+            results.append((
+                trajectories[offset:offset + size],
+                final_probs[offset:offset + size],
+            ))
+            offset += size
+        return results
+
     def __repr__(self) -> str:
         status = "fitted" if self._fitted else "unfitted"
         return (

@@ -47,3 +47,11 @@ class SerializationError(ReproError, ValueError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment harness failed to produce a result."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """The diagnosis service layer failed (bad request, shut-down engine, ...)."""
+
+
+class ArtifactNotFoundError(ServeError, KeyError):
+    """A model name/version is not present in the artifact registry."""

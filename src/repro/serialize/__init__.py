@@ -1,5 +1,6 @@
-"""Persistence of models, footprints, and defect reports."""
+"""Persistence of models, footprints, defect reports, and fitted DeepMorph instances."""
 
+from .deepmorph import load_deepmorph, save_deepmorph
 from .persistence import (
     load_footprints,
     load_model,
@@ -16,4 +17,6 @@ __all__ = [
     "load_footprints",
     "save_report",
     "load_report",
+    "save_deepmorph",
+    "load_deepmorph",
 ]

@@ -1,0 +1,54 @@
+"""repro.serve — a batched, cached diagnosis service layer over DeepMorph.
+
+The paper's pipeline runs one-shot: ``fit`` then ``diagnose``.  This package
+turns it into a long-lived service for production traffic:
+
+* :mod:`~repro.serve.registry` — persist/load fitted DeepMorph artifacts by
+  name and version on top of :mod:`repro.serialize`.
+* :mod:`~repro.serve.cache` — a thread-safe LRU cache of per-case footprint
+  extraction results keyed on input digest.
+* :mod:`~repro.serve.batching` — coalesce concurrent diagnosis requests into
+  single vectorized instrumented passes.
+* :mod:`~repro.serve.jobs` — worker pool and job store for asynchronous
+  diagnosis with polled status.
+* :mod:`~repro.serve.service` — :class:`DiagnosisService`, the facade tying
+  the pieces together.
+* :mod:`~repro.serve.http` — a stdlib JSON-over-HTTP front end
+  (``repro-serve`` on the command line).
+
+Quickstart::
+
+    from repro.serve import ArtifactRegistry, DiagnosisService
+
+    registry = ArtifactRegistry("./registry")
+    registry.register("prod-lenet", fitted_morph)
+
+    with DiagnosisService(registry) as service:
+        report = service.diagnose("prod-lenet", inputs, labels)
+        print(report.summary())
+"""
+
+from .batching import BatchingEngine, ExtractionRequest
+from .cache import FootprintCache, LRUCache, input_digest
+from .http import DiagnosisHTTPServer, serve_forever
+from .jobs import Job, JobStatus, JobStore, WorkerPool
+from .registry import ArtifactRecord, ArtifactRegistry
+from .service import DiagnosisService, LoadedModel
+
+__all__ = [
+    "ArtifactRecord",
+    "ArtifactRegistry",
+    "BatchingEngine",
+    "DiagnosisHTTPServer",
+    "DiagnosisService",
+    "ExtractionRequest",
+    "FootprintCache",
+    "Job",
+    "JobStatus",
+    "JobStore",
+    "LRUCache",
+    "LoadedModel",
+    "WorkerPool",
+    "input_digest",
+    "serve_forever",
+]

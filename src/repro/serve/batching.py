@@ -1,0 +1,307 @@
+"""Request batching for footprint extraction.
+
+Footprint extraction is naturally batchable — the instrumented forward pass
+and every probe evaluation are matrix products whose per-call overhead
+(eval-mode toggling, per-layer dispatch, python loop setup) is amortized over
+the batch dimension.  The batching engine exploits that across *requests*: a
+dedicated extraction thread drains the incoming queue, groups the pending
+requests by target model, concatenates their inputs, and pushes each group
+through one :meth:`repro.core.SoftmaxInstrumentedModel.layer_distributions_grouped`
+call.  Per-case results are memoized in a :class:`~repro.serve.cache.FootprintCache`
+so repeated production cases skip extraction entirely.
+
+Funneling every extraction through the single engine thread also makes the
+service correct under concurrency: the numpy substrate's forward passes stash
+per-layer state on the layer objects, so a model must never run two forward
+passes at once.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ServeError
+from .cache import FootprintCache
+
+__all__ = ["ExtractionRequest", "BatchingEngine"]
+
+#: Signature of the raw extraction callback: ``(model_key, input_groups)`` ->
+#: one ``(trajectories, final_probs)`` pair per group, computed in a single
+#: coalesced instrumented pass.
+ExtractFn = Callable[[str, Sequence[np.ndarray]], List[Tuple[np.ndarray, np.ndarray]]]
+
+_SHUTDOWN = object()
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class ExtractionRequest:
+    """One pending footprint-extraction request for a single model."""
+
+    model_key: str
+    inputs: np.ndarray
+    future: "Future[Tuple[np.ndarray, np.ndarray]]" = field(default_factory=Future)
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def num_cases(self) -> int:
+        return int(self.inputs.shape[0])
+
+
+class BatchingEngine:
+    """Coalesces extraction requests into vectorized, cached batches.
+
+    Parameters
+    ----------
+    extract_fn:
+        Raw (uncached) coalesced extraction callback, typically bound to
+        ``FootprintExtractor.extract_coalesced`` of a resolved model.
+    cache:
+        Per-case footprint cache consulted before extraction.  ``None``
+        disables caching.
+    max_batch_cases:
+        Soft cap on the number of cases coalesced into one batch; the drain
+        loop stops gathering once the pending batch reaches it.  A single
+        over-sized request is never split (the underlying extractor chunks
+        internally).
+    max_wait_seconds:
+        How long the drain loop keeps the first request of a batch waiting
+        for co-travellers before extracting.  Bounds added latency.
+    """
+
+    def __init__(
+        self,
+        extract_fn: ExtractFn,
+        cache: Optional[FootprintCache] = None,
+        max_batch_cases: int = 512,
+        max_wait_seconds: float = 0.005,
+    ):
+        if max_batch_cases < 1:
+            raise ServeError(f"max_batch_cases must be >= 1, got {max_batch_cases}")
+        if max_wait_seconds < 0:
+            raise ServeError(f"max_wait_seconds must be >= 0, got {max_wait_seconds}")
+        self.extract_fn = extract_fn
+        self.cache = cache
+        self.max_batch_cases = int(max_batch_cases)
+        self.max_wait_seconds = float(max_wait_seconds)
+        self._queue: "queue.Queue" = queue.Queue()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._stats_lock = threading.Lock()
+        self._stats = {
+            "requests": 0,
+            "batches": 0,
+            "extraction_calls": 0,
+            "cases_requested": 0,
+            "cases_extracted": 0,
+            "cases_from_cache": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def is_running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "BatchingEngine":
+        """Start the background extraction thread (idempotent)."""
+        if not self.is_running:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._drain_loop, name="repro-serve-batcher", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the extraction thread, failing any requests still queued."""
+        self._stop.set()
+        if self.is_running:
+            self._queue.put(_SHUTDOWN)
+            self._thread.join(timeout=timeout)
+        # Only forget the thread once it is genuinely gone: if the join timed
+        # out mid-extraction, a synchronous submit() racing the still-running
+        # thread would run two forward passes on one model at once.
+        if self._thread is not None and not self._thread.is_alive():
+            self._thread = None
+        self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        """Fail every request still sitting in the queue."""
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if leftover is not _SHUTDOWN and not leftover.future.done():
+                leftover.future.set_exception(ServeError("batching engine stopped"))
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, model_key: str, inputs: np.ndarray) -> ExtractionRequest:
+        """Enqueue an extraction request; its future resolves to ``(traj, final)``.
+
+        When the engine thread is not running the request is processed
+        synchronously on the calling thread (still through the cache), so the
+        engine degrades gracefully to a direct-call library API.
+        """
+        if self._stop.is_set():
+            raise ServeError("batching engine is stopped")
+        request = ExtractionRequest(
+            model_key=str(model_key), inputs=np.asarray(inputs, dtype=np.float64)
+        )
+        if self.is_running:
+            self._queue.put(request)
+            # stop() may have drained the queue between our check and the
+            # put; failing pending requests here closes that window instead
+            # of leaving the future hanging forever.
+            if self._stop.is_set() and not self.is_running:
+                self._fail_pending()
+        else:
+            self.process_batch([request])
+        return request
+
+    def extract(
+        self, model_key: str, inputs: np.ndarray, timeout: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Submit and wait: returns ``(trajectories, final_probs)`` for ``inputs``."""
+        return self.submit(model_key, inputs).future.result(timeout=timeout)
+
+    # -- the drain loop -----------------------------------------------------------
+
+    def _drain_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                first = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if first is _SHUTDOWN:
+                break
+            batch = [first]
+            cases = first.num_cases
+            deadline = time.monotonic() + self.max_wait_seconds
+            while cases < self.max_batch_cases:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    request = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if request is _SHUTDOWN:
+                    self._stop.set()
+                    break
+                batch.append(request)
+                cases += request.num_cases
+            self.process_batch(batch)
+
+    # -- batch processing ---------------------------------------------------------
+
+    def process_batch(self, requests: Sequence[ExtractionRequest]) -> None:
+        """Resolve a coalesced batch of requests, consulting the cache per case.
+
+        Exposed for synchronous use and tests; the drain loop calls it with
+        whatever it gathered within one batching window.
+        """
+        if not requests:
+            return
+        by_model: Dict[str, List[ExtractionRequest]] = {}
+        for request in requests:
+            by_model.setdefault(request.model_key, []).append(request)
+        with self._stats_lock:
+            self._stats["batches"] += 1
+            self._stats["requests"] += len(requests)
+            self._stats["cases_requested"] += sum(r.num_cases for r in requests)
+        for model_key, group in by_model.items():
+            try:
+                self._process_model_group(model_key, group)
+            except Exception as error:  # noqa: BLE001 - fail the waiting futures
+                for request in group:
+                    if not request.future.done():
+                        request.future.set_exception(error)
+
+    def _process_model_group(self, model_key: str, group: List[ExtractionRequest]) -> None:
+        # Per-case cache consultation: only rows never seen before reach the
+        # model.  Duplicate rows *within* the coalesced batch (the same faulty
+        # case submitted concurrently) are extracted once, via their digest.
+        # `slots[r][i]` is row i of request r; a missing slot holds the index
+        # into `missing_rows` it will be filled from.
+        slots: List[List[Optional[Tuple[np.ndarray, np.ndarray]]]] = []
+        digests_per_request: List[List[str]] = []
+        missing_rows: List[np.ndarray] = []
+        missing_at: List[Tuple[int, int, int]] = []
+        digest_to_slot: Dict[str, int] = {}
+        for r, request in enumerate(group):
+            if self.cache is not None:
+                entries, digests = self.cache.lookup(model_key, request.inputs)
+            else:
+                entries = [None] * request.num_cases
+                digests = [""] * request.num_cases
+            slots.append(entries)
+            digests_per_request.append(digests)
+            for i, entry in enumerate(entries):
+                if entry is not None:
+                    continue
+                digest = digests[i]
+                if self.cache is not None and digest in digest_to_slot:
+                    row_index = digest_to_slot[digest]
+                else:
+                    row_index = len(missing_rows)
+                    missing_rows.append(request.inputs[i])
+                    if self.cache is not None:
+                        digest_to_slot[digest] = row_index
+                missing_at.append((r, i, row_index))
+
+        # Dup slots resolved from a co-travelling row count as "from cache":
+        # cases_from_cache + cases_extracted always equals cases_requested.
+        cached_count = sum(r.num_cases for r in group) - len(missing_rows)
+        if missing_rows:
+            stacked = np.stack(missing_rows, axis=0)
+            (trajectories, final_probs), = self.extract_fn(model_key, [stacked])
+            stored: set = set()
+            for r, i, row_index in missing_at:
+                pair = (trajectories[row_index], final_probs[row_index])
+                slots[r][i] = pair
+                if self.cache is not None and row_index not in stored:
+                    stored.add(row_index)
+                    self.cache.store(model_key, digests_per_request[r][i], *pair)
+        with self._stats_lock:
+            self._stats["cases_from_cache"] += cached_count
+            self._stats["cases_extracted"] += len(missing_rows)
+            if missing_rows:
+                self._stats["extraction_calls"] += 1
+
+        for request, entries in zip(group, slots):
+            if request.future.done():
+                continue
+            if request.num_cases == 0:
+                request.future.set_result((np.zeros((0, 0, 0)), np.zeros((0, 0))))
+                continue
+            trajectories = np.stack([entry[0] for entry in entries], axis=0)
+            final_probs = np.stack([entry[1] for entry in entries], axis=0)
+            request.future.set_result((trajectories, final_probs))
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counters describing coalescing and cache effectiveness."""
+        with self._stats_lock:
+            counters = dict(self._stats)
+        if self.cache is not None:
+            counters["cache"] = self.cache.stats()
+        counters["running"] = self.is_running
+        return counters
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchingEngine(max_batch_cases={self.max_batch_cases}, "
+            f"max_wait={self.max_wait_seconds}, running={self.is_running})"
+        )

@@ -1,0 +1,157 @@
+"""Footprint caching for the diagnosis service.
+
+Production monitoring re-submits the same inputs over and over (the same
+faulty cases keep showing up while a defect is being investigated), and
+footprint extraction — a full instrumented forward pass plus one probe
+evaluation per hidden layer — is by far the most expensive step of a
+diagnosis.  The service therefore memoizes per-case extraction results in a
+bounded, thread-safe LRU cache keyed on a digest of the raw input bytes.
+
+Cache values are ``(trajectory, final_probs)`` pairs, which are independent of
+the request's true labels: labels are only attached when footprints are
+rebuilt through :meth:`repro.core.FootprintExtractor.from_arrays`, so a case
+cached during one request is reusable by any later request regardless of
+labeling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["LRUCache", "FootprintCache", "input_digest"]
+
+
+def input_digest(row: np.ndarray) -> str:
+    """Stable content digest of one input example.
+
+    Hashes the raw bytes together with shape and dtype so arrays that compare
+    equal after a reshape or cast do not collide.
+    """
+    row = np.ascontiguousarray(row)
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(str(row.dtype).encode())
+    hasher.update(str(row.shape).encode())
+    hasher.update(row.tobytes())
+    return hasher.hexdigest()
+
+
+class LRUCache:
+    """A thread-safe least-recently-used mapping with hit/miss accounting.
+
+    ``maxsize <= 0`` disables the cache entirely (every ``get`` misses and
+    ``put`` is a no-op), which gives the service a uniform code path for the
+    "caching off" configuration.
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def get(self, key: Hashable, default=None):
+        """Return the cached value for ``key`` (marking it most recent) or ``default``."""
+        with self._lock:
+            if key not in self._data:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._data.move_to_end(key)
+            return self._data[key]
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert ``value`` under ``key``, evicting the least recent entry if full."""
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __repr__(self) -> str:
+        return f"LRUCache(size={len(self)}, maxsize={self.maxsize})"
+
+
+class FootprintCache:
+    """Per-case ``(trajectory, final_probs)`` cache keyed on ``(model, input digest)``.
+
+    The model key is part of the cache key because the same input produces
+    different footprints under different registered models (or versions of the
+    same model).
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        self._cache = LRUCache(maxsize)
+
+    def lookup(
+        self, model_key: str, inputs: np.ndarray
+    ) -> Tuple[List[Optional[Tuple[np.ndarray, np.ndarray]]], List[str]]:
+        """Check every row of ``inputs`` against the cache.
+
+        Returns ``(entries, digests)`` where ``entries[i]`` is the cached
+        ``(trajectory, final_probs)`` pair for row ``i`` or ``None`` on a
+        miss, and ``digests[i]`` is row ``i``'s content digest (so the caller
+        can :meth:`store` freshly-extracted rows without re-hashing).
+        """
+        entries: List[Optional[Tuple[np.ndarray, np.ndarray]]] = []
+        digests: List[str] = []
+        for i in range(inputs.shape[0]):
+            digest = input_digest(inputs[i])
+            digests.append(digest)
+            entries.append(self._cache.get((model_key, digest)))
+        return entries, digests
+
+    def store(
+        self, model_key: str, digest: str, trajectory: np.ndarray, final_probs: np.ndarray
+    ) -> None:
+        """Cache one freshly-extracted case."""
+        self._cache.put((model_key, digest), (trajectory.copy(), final_probs.copy()))
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def invalidate_model(self, model_key: str) -> int:
+        """Drop every cached case of one model; returns how many were dropped."""
+        with self._cache._lock:
+            doomed = [key for key in self._cache._data if key[0] == model_key]
+            for key in doomed:
+                del self._cache._data[key]
+        return len(doomed)
+
+    def stats(self) -> Dict[str, int]:
+        return self._cache.stats()
+
+    def __repr__(self) -> str:
+        return f"FootprintCache({self._cache!r})"

@@ -1,0 +1,222 @@
+"""JSON-over-HTTP front end for the diagnosis service (stdlib only).
+
+Endpoints
+---------
+
+``GET /health``
+    Liveness plus the registered model names.
+``GET /models``
+    Manifest records of every registered artifact version.
+``GET /stats``
+    Engine/cache/job counters.
+``POST /diagnose``
+    Synchronous diagnosis.  Body: ``{"model": str, "inputs": [[...], ...],
+    "labels": [...], "version"?: str, "metadata"?: {}}``.  Returns the
+    :class:`~repro.core.DefectReport` as JSON.
+``POST /jobs``
+    Same body as ``/diagnose`` but asynchronous; returns ``{"job_id": ...}``.
+``GET /jobs/<id>``
+    Status (and, when finished, result or error) of one job.
+
+The server is a ``ThreadingHTTPServer``: each connection gets a thread, and
+concurrent ``/diagnose`` requests are exactly what the batching engine
+coalesces into shared extraction passes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from ..exceptions import ArtifactNotFoundError, ReproError, ServeError
+from .service import DiagnosisService
+
+__all__ = ["DiagnosisHTTPServer", "serve_forever"]
+
+_MAX_BODY_BYTES = 256 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the bound :class:`DiagnosisService`."""
+
+    service: DiagnosisService  # injected by DiagnosisHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: Dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int) -> None:
+        # Error paths may not have drained the request body; under HTTP/1.1
+        # keep-alive the unread bytes would be parsed as the next request
+        # line, desynchronizing the connection.  Close it instead.
+        self.close_connection = True
+        self.send_response(status)
+        body = json.dumps({"error": message}).encode("utf-8")
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServeError("request body required")
+        if length > _MAX_BODY_BYTES:
+            raise ServeError(f"request body exceeds {_MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServeError(f"invalid JSON body: {error}") from error
+        if not isinstance(payload, dict):
+            raise ServeError("JSON body must be an object")
+        return payload
+
+    @staticmethod
+    def _diagnosis_args(payload: Dict) -> Tuple[str, list, list, Optional[str], Optional[Dict]]:
+        try:
+            name = payload["model"]
+            inputs = payload["inputs"]
+            labels = payload["labels"]
+        except KeyError as error:
+            raise ServeError(f"missing required field {error.args[0]!r}") from error
+        if not isinstance(name, str):
+            raise ServeError("'model' must be a string")
+        version = payload.get("version")
+        if version is not None and not isinstance(version, str):
+            raise ServeError("'version' must be a string when given")
+        metadata = payload.get("metadata")
+        if metadata is not None and not isinstance(metadata, dict):
+            raise ServeError("'metadata' must be an object when given")
+        return name, inputs, labels, version, metadata
+
+    # -- routes -------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/health":
+                self._send_json({"status": "ok", "models": self.service.registry.models()})
+            elif path == "/models":
+                self._send_json({"models": self.service.models()})
+            elif path == "/stats":
+                self._send_json(self.service.stats())
+            elif path == "/jobs":
+                self._send_json({"jobs": [job.as_dict() for job in self.service.jobs.list()]})
+            elif path.startswith("/jobs/"):
+                job_id = path[len("/jobs/"):]
+                try:
+                    self._send_json(self.service.jobs.get(job_id).as_dict())
+                except ServeError:
+                    self._send_error_json(f"unknown job {job_id!r}", 404)
+            else:
+                self._send_error_json(f"unknown path {path!r}", 404)
+        except Exception as error:  # noqa: BLE001 - surface as a 500, keep serving
+            self._send_error_json(f"{type(error).__name__}: {error}", 500)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path == "/diagnose":
+                payload = self._read_json_body()
+                name, inputs, labels, version, metadata = self._diagnosis_args(payload)
+                report = self.service.diagnose_dict(
+                    name, inputs, labels, version=version, metadata=metadata
+                )
+                self._send_json(report)
+            elif path == "/jobs":
+                payload = self._read_json_body()
+                name, inputs, labels, version, metadata = self._diagnosis_args(payload)
+                job = self.service.submit_diagnosis(
+                    name, inputs, labels, version=version, metadata=metadata
+                )
+                self._send_json({"job_id": job.job_id, "status": job.status}, status=202)
+            else:
+                self._send_error_json(f"unknown path {path!r}", 404)
+        except ArtifactNotFoundError as error:
+            self._send_error_json(f"unknown model: {error.args[0]}", 404)
+        except (ServeError, ReproError, ValueError) as error:
+            self._send_error_json(f"{type(error).__name__}: {error}", 400)
+        except Exception as error:  # noqa: BLE001 - surface as a 500, keep serving
+            self._send_error_json(f"{type(error).__name__}: {error}", 500)
+
+
+class DiagnosisHTTPServer:
+    """A threaded HTTP server bound to one :class:`DiagnosisService`.
+
+    ``port=0`` binds an ephemeral port (see :attr:`port` after construction),
+    which is what the tests use.
+    """
+
+    def __init__(
+        self,
+        service: DiagnosisService,
+        host: str = "127.0.0.1",
+        port: int = 8421,
+        verbose: bool = False,
+    ):
+        self.service = service
+        handler = type("BoundHandler", (_Handler,), {"service": service})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._server.verbose = verbose
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return int(self._server.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "DiagnosisHTTPServer":
+        """Serve on a background thread (for tests and embedding)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._server.serve_forever, name="repro-serve-http", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI entry point)."""
+        self._server.serve_forever()
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+def serve_forever(
+    service: DiagnosisService, host: str = "127.0.0.1", port: int = 8421, verbose: bool = False
+) -> None:
+    """Convenience wrapper: bind, announce, and serve until interrupted."""
+    server = DiagnosisHTTPServer(service, host=host, port=port, verbose=verbose)
+    print(f"repro-serve listening on {server.url} "
+          f"(models: {', '.join(service.registry.models()) or 'none registered'})")
+    try:
+        server.serve_forever()
+    finally:
+        server.shutdown()

@@ -1,0 +1,321 @@
+"""The diagnosis service: a long-lived, batched, cached front over DeepMorph.
+
+:class:`DiagnosisService` owns
+
+* an :class:`~repro.serve.registry.ArtifactRegistry` of fitted DeepMorph
+  artifacts (with an in-process LRU of loaded instances, including each
+  model's precomputed diagnosis context — pattern overlap, feature quality,
+  training inconsistency — which are fixed once fitted and therefore must not
+  be recomputed per request),
+* a :class:`~repro.serve.batching.BatchingEngine` that coalesces concurrent
+  requests into vectorized footprint extraction over one forward pass,
+* a :class:`~repro.serve.cache.FootprintCache` so repeated production cases
+  are never re-extracted, and
+* a :class:`~repro.serve.jobs.WorkerPool` for asynchronous multi-model
+  diagnosis with polled job status.
+
+A served diagnosis is numerically identical to calling
+``DeepMorph.diagnose_dataset`` on the same data: extraction is deterministic,
+the misclassification filter is the same, and the per-model context values are
+the very ones the facade recomputes on every call.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.classifier import DefectReport
+from ..core.diagnosis import DeepMorph
+from ..core.footprint import FootprintExtractor
+from ..core.specifics import compute_specifics
+from ..exceptions import ConfigurationError, ServeError
+from .batching import BatchingEngine
+from .cache import FootprintCache
+from .jobs import Job, JobStore, WorkerPool
+from .registry import ArtifactRegistry
+
+__all__ = ["LoadedModel", "DiagnosisService"]
+
+
+@dataclass
+class LoadedModel:
+    """A registry artifact resident in memory, with its per-model constants."""
+
+    key: str
+    morph: DeepMorph
+    extractor: FootprintExtractor
+    pattern_overlap: float
+    feature_quality: float
+    training_inconsistency: float
+
+    @property
+    def num_classes(self) -> int:
+        return self.morph.model.num_classes
+
+
+class DiagnosisService:
+    """Serve batched, cached DeepMorph diagnoses for registered models.
+
+    Parameters
+    ----------
+    registry:
+        The artifact registry (or a path, which is wrapped in one).
+    max_batch_cases, batch_wait_seconds:
+        Coalescing knobs of the batching engine.
+    cache_size:
+        Capacity (in cases) of the footprint cache; ``0`` disables caching.
+    num_workers:
+        Worker threads for asynchronous jobs.
+    max_loaded_models:
+        How many fitted DeepMorph instances are kept in memory at once.
+    extraction_batch_size:
+        Chunk size of the underlying instrumented forward passes.
+    request_timeout:
+        Default seconds a synchronous diagnosis waits on the engine.
+    """
+
+    def __init__(
+        self,
+        registry,
+        max_batch_cases: int = 512,
+        batch_wait_seconds: float = 0.005,
+        cache_size: int = 4096,
+        num_workers: int = 2,
+        max_loaded_models: int = 8,
+        extraction_batch_size: int = 128,
+        request_timeout: float = 120.0,
+    ):
+        if max_loaded_models < 1:
+            raise ServeError(f"max_loaded_models must be >= 1, got {max_loaded_models}")
+        self.registry = registry if isinstance(registry, ArtifactRegistry) else ArtifactRegistry(registry)
+        self.extraction_batch_size = int(extraction_batch_size)
+        self.request_timeout = float(request_timeout)
+        self.max_loaded_models = int(max_loaded_models)
+        self._entries: "OrderedDict[str, LoadedModel]" = OrderedDict()
+        self._entries_lock = threading.Lock()
+
+        self.cache = FootprintCache(cache_size) if cache_size > 0 else None
+        self.engine = BatchingEngine(
+            extract_fn=self._extract_raw,
+            cache=self.cache,
+            max_batch_cases=max_batch_cases,
+            max_wait_seconds=batch_wait_seconds,
+        ).start()
+        self.jobs = JobStore()
+        self.pool = WorkerPool(num_workers=num_workers, store=self.jobs)
+        self._closed = False
+
+    # -- model residency ----------------------------------------------------------
+
+    def resolve_key(self, name: str, version: Optional[str] = None) -> str:
+        """Resolve ``(name, version-or-latest)`` to a canonical ``name@version`` key.
+
+        A pinned version that is already resident skips the registry's disk
+        lookup entirely (versions are immutable, so residency proves
+        existence); only "latest" requests re-consult the filesystem, since
+        another process may have registered a newer version.
+        """
+        if version is not None:
+            key = f"{name}@{version}"
+            with self._entries_lock:
+                if key in self._entries:
+                    return key
+        return f"{name}@{self.registry.resolve(name, version)}"
+
+    def _entry(self, key: str) -> LoadedModel:
+        """Return the loaded model for ``key``, loading (and evicting) as needed."""
+        with self._entries_lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return self._entries[key]
+        name, _, version = key.partition("@")
+        morph = self.registry.load(name, version)
+        entry = LoadedModel(
+            key=key,
+            morph=morph,
+            extractor=FootprintExtractor(morph.instrumented, batch_size=self.extraction_batch_size),
+            # Fixed once fitted; DeepMorph.diagnose recomputes them per call,
+            # which is exactly the per-request overhead a service must not pay.
+            pattern_overlap=morph.patterns.pattern_overlap(),
+            feature_quality=morph.patterns.feature_quality(),
+            training_inconsistency=morph.patterns.training_inconsistency(),
+        )
+        with self._entries_lock:
+            if key not in self._entries:
+                self._entries[key] = entry
+                while len(self._entries) > self.max_loaded_models:
+                    self._entries.popitem(last=False)
+            self._entries.move_to_end(key)
+            return self._entries[key]
+
+    def loaded_models(self) -> List[str]:
+        with self._entries_lock:
+            return list(self._entries)
+
+    def evict(self, name: str, version: Optional[str] = None) -> List[str]:
+        """Drop resident copies (and cached footprints) of a model.
+
+        Must accompany ``registry.delete`` on a live service — residency
+        otherwise keeps serving the deleted artifact (see :meth:`unregister`
+        for the combined operation).  ``version=None`` evicts every resident
+        version of ``name``.  Returns the evicted keys.
+        """
+        with self._entries_lock:
+            doomed = [
+                key for key in self._entries
+                if key == f"{name}@{version}" or (version is None and key.partition("@")[0] == name)
+            ]
+            for key in doomed:
+                del self._entries[key]
+        if self.cache is not None:
+            for key in doomed:
+                self.cache.invalidate_model(key)
+        return doomed
+
+    def unregister(self, name: str, version: Optional[str] = None) -> None:
+        """Delete from the registry AND evict resident copies, atomically enough."""
+        self.registry.delete(name, version)
+        self.evict(name, version)
+
+    # -- extraction callback (runs on the engine thread) ---------------------------
+
+    def _extract_raw(
+        self, model_key: str, input_groups: Sequence[np.ndarray]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        return self._entry(model_key).extractor.extract_coalesced(input_groups)
+
+    # -- diagnosis ----------------------------------------------------------------
+
+    @staticmethod
+    def _validate_request(inputs, labels) -> Tuple[np.ndarray, np.ndarray]:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        labels = np.asarray(labels)
+        if inputs.ndim < 2:
+            raise ConfigurationError(
+                f"inputs must be a batch of examples (ndim >= 2), got shape {inputs.shape}"
+            )
+        if inputs.shape[0] == 0:
+            raise ConfigurationError("cannot diagnose an empty batch of production cases")
+        if labels.ndim != 1 or labels.shape[0] != inputs.shape[0]:
+            raise ConfigurationError(
+                f"labels must be 1-D with one entry per input, got shape {labels.shape} "
+                f"for {inputs.shape[0]} inputs"
+            )
+        return inputs, labels.astype(np.int64)
+
+    def diagnose(
+        self,
+        name: str,
+        inputs,
+        labels,
+        version: Optional[str] = None,
+        metadata: Optional[Dict] = None,
+        timeout: Optional[float] = None,
+    ) -> DefectReport:
+        """Diagnose a labeled production batch against a registered model.
+
+        The batch plays the role of the production data of
+        ``DeepMorph.diagnose_dataset``: the service finds the misclassified
+        cases (via the extracted footprints' own predictions) and aggregates
+        their defect evidence into a :class:`DefectReport`.
+        """
+        if self._closed:
+            raise ServeError("service is closed")
+        inputs, labels = self._validate_request(inputs, labels)
+        key = self.resolve_key(name, version)
+        entry = self._entry(key)
+
+        trajectories, final_probs = self.engine.extract(
+            key, inputs, timeout=timeout if timeout is not None else self.request_timeout
+        )
+        footprints = entry.extractor.from_arrays(trajectories, final_probs, labels)
+        faulty = [fp for fp in footprints if fp.is_misclassified]
+        if not faulty:
+            raise ConfigurationError(
+                "none of the supplied cases is misclassified by the model; nothing to diagnose"
+            )
+        specifics = [compute_specifics(fp, entry.morph.patterns) for fp in faulty]
+        context = entry.morph.case_classifier.build_context(
+            specifics,
+            num_classes=entry.num_classes,
+            pattern_overlap=entry.pattern_overlap,
+            feature_quality=entry.feature_quality,
+            training_inconsistency=entry.training_inconsistency,
+        )
+        meta = {
+            "num_production_cases": int(inputs.shape[0]),
+            "model": name,
+            "version": key.partition("@")[2],
+        }
+        meta.update(metadata or {})
+        return entry.morph.case_classifier.aggregate(specifics, context=context, metadata=meta)
+
+    def diagnose_dict(self, name: str, inputs, labels, **kwargs) -> Dict:
+        """JSON-friendly variant of :meth:`diagnose` (used by HTTP and jobs)."""
+        return self.diagnose(name, inputs, labels, **kwargs).as_dict()
+
+    def submit_diagnosis(
+        self,
+        name: str,
+        inputs,
+        labels,
+        version: Optional[str] = None,
+        metadata: Optional[Dict] = None,
+    ) -> Job:
+        """Queue an asynchronous diagnosis; poll the returned job for its report."""
+        if self._closed:
+            raise ServeError("service is closed")
+        inputs, labels = self._validate_request(inputs, labels)
+        key = self.resolve_key(name, version)
+
+        def run() -> Dict:
+            return self.diagnose_dict(
+                name, inputs, labels, version=key.partition("@")[2], metadata=metadata
+            )
+
+        return self.pool.submit(
+            run,
+            kind="diagnosis",
+            details={"model_key": key, "num_cases": int(inputs.shape[0])},
+        )
+
+    # -- introspection ------------------------------------------------------------
+
+    def models(self) -> List[Dict]:
+        """Manifest records of every registered artifact version."""
+        return [record.as_dict() for record in self.registry.records()]
+
+    def stats(self) -> Dict:
+        return {
+            "engine": self.engine.stats(),
+            "jobs": self.jobs.counts(),
+            "loaded_models": self.loaded_models(),
+            "registered_models": self.registry.models(),
+            "workers": self.pool.num_workers,
+        }
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.engine.stop()
+        self.pool.shutdown()
+
+    def __enter__(self) -> "DiagnosisService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DiagnosisService(registry={str(self.registry.root)!r}, "
+            f"loaded={self.loaded_models()}, closed={self._closed})"
+        )

@@ -225,3 +225,41 @@ class TestSpecifics:
         fp = fitted_deepmorph.extract_footprints(inputs[:1])[0]
         with pytest.raises(ConfigurationError):
             compute_specifics(fp, fitted_deepmorph.patterns)
+
+
+class TestGroupedExtraction:
+    """The coalesced multi-group extraction APIs the serving layer builds on."""
+
+    def test_grouped_distributions_match_per_group_calls(self, fitted_deepmorph, tiny_splits):
+        _, test = tiny_splits
+        inputs, _ = test.arrays()
+        instrumented = fitted_deepmorph.instrumented
+        groups = [inputs[:3], inputs[3:4], inputs[4:9]]
+        grouped = instrumented.layer_distributions_grouped(groups)
+        assert len(grouped) == 3
+        for group, (trajectories, final_probs) in zip(groups, grouped):
+            direct_traj, direct_final = instrumented.layer_distributions(group)
+            np.testing.assert_allclose(trajectories, direct_traj, atol=1e-12)
+            np.testing.assert_allclose(final_probs, direct_final, atol=1e-12)
+
+    def test_grouped_handles_empty_group_and_empty_input(self, fitted_deepmorph, tiny_splits):
+        _, test = tiny_splits
+        inputs, _ = test.arrays()
+        instrumented = fitted_deepmorph.instrumented
+        grouped = instrumented.layer_distributions_grouped([inputs[:2], inputs[:0]])
+        assert grouped[0][0].shape[0] == 2
+        assert grouped[1][0].shape[0] == 0
+        assert instrumented.layer_distributions_grouped([]) == []
+        empty_only = instrumented.layer_distributions_grouped([inputs[:0]])
+        assert empty_only[0][0].shape == (0, instrumented.num_layers, instrumented.num_classes)
+
+    def test_extract_coalesced_roundtrips_through_from_arrays(self, fitted_deepmorph, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        extractor = FootprintExtractor(fitted_deepmorph.instrumented)
+        (trajectories, final_probs), _ = extractor.extract_coalesced([inputs[:5], inputs[5:8]])
+        rebuilt = extractor.from_arrays(trajectories, final_probs, labels[:5])
+        direct = extractor.extract(inputs[:5], labels[:5])
+        for a, b in zip(rebuilt, direct):
+            np.testing.assert_allclose(a.trajectory, b.trajectory, atol=1e-12)
+            assert a.predicted == b.predicted and a.true_label == b.true_label

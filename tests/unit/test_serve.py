@@ -1,0 +1,390 @@
+"""Unit tests for the serving subsystem: cache, batching engine, registry, jobs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ArtifactNotFoundError, ServeError
+from repro.serve import (
+    ArtifactRegistry,
+    BatchingEngine,
+    ExtractionRequest,
+    FootprintCache,
+    JobStatus,
+    JobStore,
+    LRUCache,
+    WorkerPool,
+    input_digest,
+)
+
+NUM_LAYERS = 3
+NUM_CLASSES = 4
+
+
+# ---------------------------------------------------------------- LRU cache
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" becomes the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_put_existing_key_updates_without_eviction(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert cache.stats()["evictions"] == 0
+
+    def test_zero_maxsize_disables_storage(self):
+        cache = LRUCache(maxsize=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+
+class TestInputDigest:
+    def test_equal_content_equal_digest(self):
+        row = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert input_digest(row) == input_digest(row.copy())
+
+    def test_shape_and_dtype_matter(self):
+        row = np.arange(12, dtype=np.float64)
+        assert input_digest(row) != input_digest(row.reshape(3, 4))
+        assert input_digest(row) != input_digest(row.astype(np.float32))
+
+    def test_content_matters(self):
+        row = np.zeros(8)
+        other = row.copy()
+        other[3] = 1e-9
+        assert input_digest(row) != input_digest(other)
+
+
+class TestFootprintCache:
+    def test_lookup_miss_store_hit(self):
+        cache = FootprintCache(maxsize=16)
+        inputs = np.random.default_rng(0).random((2, 1, 4, 4))
+        entries, digests = cache.lookup("m@v1", inputs)
+        assert entries == [None, None]
+        cache.store("m@v1", digests[0], np.ones((3, 4)), np.ones(4))
+        entries, _ = cache.lookup("m@v1", inputs)
+        assert entries[0] is not None
+        assert entries[1] is None
+        trajectory, final = entries[0]
+        np.testing.assert_array_equal(trajectory, np.ones((3, 4)))
+        np.testing.assert_array_equal(final, np.ones(4))
+
+    def test_model_key_partitions_the_cache(self):
+        cache = FootprintCache(maxsize=16)
+        inputs = np.random.default_rng(1).random((1, 2, 2))
+        _, digests = cache.lookup("m@v1", inputs)
+        cache.store("m@v1", digests[0], np.zeros((3, 4)), np.zeros(4))
+        entries, _ = cache.lookup("m@v2", inputs)
+        assert entries == [None]
+
+
+# ------------------------------------------------------------ batching engine
+
+
+def _stub_extract_factory(calls):
+    """An extract_fn standing in for the instrumented model.
+
+    Encodes each input row's first element into the output so per-request
+    splitting can be verified, and records every call for coalescing asserts.
+    """
+
+    def extract(model_key, groups):
+        calls.append((model_key, [g.shape[0] for g in groups]))
+        results = []
+        for group in groups:
+            n = group.shape[0]
+            trajectories = np.zeros((n, NUM_LAYERS, NUM_CLASSES))
+            finals = np.zeros((n, NUM_CLASSES))
+            for i in range(n):
+                trajectories[i] = float(group[i].flat[0])
+                finals[i] = float(group[i].flat[0])
+            results.append((trajectories, finals))
+        return results
+
+    return extract
+
+
+class TestBatchingEngine:
+    def test_process_batch_coalesces_requests_into_one_extraction(self):
+        calls = []
+        engine = BatchingEngine(_stub_extract_factory(calls), cache=None)
+        rng = np.random.default_rng(2)
+        req_a = ExtractionRequest("m@v1", rng.random((3, 2)) + 1)
+        req_b = ExtractionRequest("m@v1", rng.random((5, 2)) + 10)
+        # A gathered batch goes through ONE extraction call for both requests.
+        engine.process_batch([req_a, req_b])
+        assert len(calls) == 1
+        model_key, group_sizes = calls[0]
+        assert model_key == "m@v1"
+        assert sum(group_sizes) == 8
+        assert req_a.future.result(timeout=1)[0].shape[0] == 3
+        assert req_b.future.result(timeout=1)[0].shape[0] == 5
+
+    def test_results_split_back_per_request(self):
+        calls = []
+        engine = BatchingEngine(_stub_extract_factory(calls), cache=None)
+        a = np.full((2, 3), 7.0)
+        b = np.full((4, 3), 9.0)
+        ra = engine.submit("m@v1", a)
+        rb = engine.submit("m@v1", b)
+        traj_a, final_a = ra.future.result(timeout=1)
+        traj_b, final_b = rb.future.result(timeout=1)
+        assert traj_a.shape == (2, NUM_LAYERS, NUM_CLASSES)
+        assert traj_b.shape == (4, NUM_LAYERS, NUM_CLASSES)
+        assert np.all(traj_a == 7.0) and np.all(final_a == 7.0)
+        assert np.all(traj_b == 9.0) and np.all(final_b == 9.0)
+
+    def test_requests_for_different_models_are_not_mixed(self):
+        calls = []
+        engine = BatchingEngine(_stub_extract_factory(calls), cache=None)
+        ra = ExtractionRequest("m@v1", np.full((2, 2), 1.0))
+        rb = ExtractionRequest("other@v3", np.full((2, 2), 2.0))
+        engine.process_batch([ra, rb])
+        assert sorted(key for key, _ in calls) == ["m@v1", "other@v3"]
+
+    def test_duplicate_rows_in_one_batch_extracted_once(self):
+        calls = []
+        cache = FootprintCache(maxsize=64)
+        engine = BatchingEngine(_stub_extract_factory(calls), cache=cache)
+        row = np.full((1, 2), 5.0)
+        requests = [ExtractionRequest("m@v1", row.copy()) for _ in range(4)]
+        engine.process_batch(requests)
+        # One extraction call for ONE unique row, not four.
+        assert calls == [("m@v1", [1])]
+        for request in requests:
+            trajectories, finals = request.future.result(timeout=1)
+            assert np.all(trajectories == 5.0) and np.all(finals == 5.0)
+        stats = engine.stats()
+        assert stats["cases_extracted"] == 1
+        assert stats["cases_from_cache"] == 3
+
+    def test_cache_short_circuits_repeated_cases(self):
+        calls = []
+        cache = FootprintCache(maxsize=64)
+        engine = BatchingEngine(_stub_extract_factory(calls), cache=cache)
+        inputs = np.random.default_rng(3).random((6, 2))
+        first = engine.extract("m@v1", inputs)
+        assert len(calls) == 1
+        second = engine.extract("m@v1", inputs)
+        assert len(calls) == 1, "fully cached batch must not reach the model"
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
+        stats = engine.stats()
+        assert stats["cases_from_cache"] == 6
+        assert stats["cases_extracted"] == 6
+
+    def test_partial_cache_hit_extracts_only_missing_rows(self):
+        calls = []
+        cache = FootprintCache(maxsize=64)
+        engine = BatchingEngine(_stub_extract_factory(calls), cache=cache)
+        rng = np.random.default_rng(4)
+        seen = rng.random((3, 2))
+        engine.extract("m@v1", seen)
+        calls.clear()
+        fresh = rng.random((2, 2))
+        mixed = np.concatenate([seen, fresh], axis=0)
+        trajectories, finals = engine.extract("m@v1", mixed)
+        assert len(calls) == 1
+        assert calls[0][1] == [2], "only the 2 unseen rows reach extraction"
+        assert trajectories.shape[0] == 5
+        for i in range(5):
+            assert np.all(trajectories[i] == mixed[i].flat[0])
+
+    def test_background_thread_coalesces_concurrent_submissions(self):
+        calls = []
+        engine = BatchingEngine(
+            _stub_extract_factory(calls), cache=None,
+            max_batch_cases=64, max_wait_seconds=0.2,
+        ).start()
+        try:
+            requests = [engine.submit("m@v1", np.full((2, 2), float(i))) for i in range(5)]
+            results = [r.future.result(timeout=5) for r in requests]
+            assert all(traj.shape[0] == 2 for traj, _ in results)
+            # All 5 requests land within one 200 ms batching window.
+            assert len(calls) < 5
+        finally:
+            engine.stop()
+
+    def test_extract_fn_failure_fails_the_waiting_future(self):
+        def broken(model_key, groups):
+            raise RuntimeError("model exploded")
+
+        engine = BatchingEngine(broken, cache=None)
+        request = engine.submit("m@v1", np.ones((1, 2)))
+        with pytest.raises(RuntimeError, match="model exploded"):
+            request.future.result(timeout=1)
+
+    def test_stop_fails_queued_requests(self):
+        engine = BatchingEngine(_stub_extract_factory([]), cache=None)
+        engine.start()
+        engine.stop()
+        assert not engine.is_running
+
+    def test_invalid_knobs_rejected(self):
+        fn = _stub_extract_factory([])
+        with pytest.raises(ServeError):
+            BatchingEngine(fn, max_batch_cases=0)
+        with pytest.raises(ServeError):
+            BatchingEngine(fn, max_wait_seconds=-1.0)
+
+
+# ------------------------------------------------------------------ registry
+
+
+class TestArtifactRegistry:
+    def test_register_load_roundtrip_preserves_diagnosis(self, tmp_path, fitted_deepmorph, tiny_splits):
+        _, test = tiny_splits
+        registry = ArtifactRegistry(tmp_path / "registry")
+        record = registry.register("tiny", fitted_deepmorph, metadata={"note": "unit"})
+        assert record.key == "tiny@v1"
+        assert record.metadata == {"note": "unit"}
+        assert record.model_kind == fitted_deepmorph.model.kind
+
+        reloaded = registry.load("tiny")
+        direct = fitted_deepmorph.diagnose_dataset(test)
+        roundtrip = reloaded.diagnose_dataset(test)
+        assert direct.ratios == roundtrip.ratios
+        assert direct.num_cases == roundtrip.num_cases
+
+    def test_versions_monotonic_and_latest_resolution(self, tmp_path, fitted_deepmorph):
+        registry = ArtifactRegistry(tmp_path / "registry")
+        registry.register("m", fitted_deepmorph)
+        registry.register("m", fitted_deepmorph)
+        assert registry.versions("m") == ["v1", "v2"]
+        assert registry.resolve("m") == "v2"
+        assert registry.resolve("m", "v1") == "v1"
+        assert registry.models() == ["m"]
+
+    def test_versions_are_immutable(self, tmp_path, fitted_deepmorph):
+        registry = ArtifactRegistry(tmp_path / "registry")
+        registry.register("m", fitted_deepmorph, version="v3")
+        with pytest.raises(ServeError, match="immutable"):
+            registry.register("m", fitted_deepmorph, version="v3")
+
+    def test_unknown_name_and_version_raise(self, tmp_path, fitted_deepmorph):
+        registry = ArtifactRegistry(tmp_path / "registry")
+        with pytest.raises(ArtifactNotFoundError):
+            registry.versions("ghost")
+        registry.register("m", fitted_deepmorph)
+        with pytest.raises(ArtifactNotFoundError):
+            registry.resolve("m", "v99")
+
+    def test_invalid_names_rejected(self, tmp_path, fitted_deepmorph):
+        registry = ArtifactRegistry(tmp_path / "registry")
+        for bad in ("", "../escape", "a/b", ".hidden"):
+            with pytest.raises(ServeError):
+                registry.register(bad, fitted_deepmorph)
+
+    def test_delete_version_and_model(self, tmp_path, fitted_deepmorph):
+        registry = ArtifactRegistry(tmp_path / "registry")
+        registry.register("m", fitted_deepmorph)
+        registry.register("m", fitted_deepmorph)
+        registry.delete("m", "v2")
+        assert registry.versions("m") == ["v1"]
+        registry.delete("m")
+        assert registry.models() == []
+        with pytest.raises(ArtifactNotFoundError):
+            registry.delete("m")
+
+    def test_deleted_version_numbers_are_never_reused(self, tmp_path, fitted_deepmorph):
+        # Serving caches key loaded artifacts by name@version, so a deleted
+        # number must stay burned or a stale model would be served.
+        registry = ArtifactRegistry(tmp_path / "registry")
+        registry.register("m", fitted_deepmorph)
+        registry.register("m", fitted_deepmorph)
+        registry.delete("m", "v2")
+        record = registry.register("m", fitted_deepmorph)
+        assert record.version == "v3"
+        registry.delete("m")  # whole-model delete burns the numbers too
+        record = registry.register("m", fitted_deepmorph)
+        assert record.version == "v4"
+
+
+# ------------------------------------------------------------------- service
+
+
+class TestServiceEviction:
+    def test_unregister_evicts_resident_model(self, tmp_path, fitted_deepmorph, tiny_splits):
+        from repro.serve import DiagnosisService
+
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        registry = ArtifactRegistry(tmp_path / "registry")
+        registry.register("m", fitted_deepmorph)
+        with DiagnosisService(registry, batch_wait_seconds=0.001, num_workers=1) as service:
+            service.diagnose("m", inputs, labels)
+            assert service.loaded_models() == ["m@v1"]
+            service.unregister("m", "v1")
+            assert service.loaded_models() == []
+            assert service.cache.stats()["size"] == 0
+            with pytest.raises(ArtifactNotFoundError):
+                service.diagnose("m", inputs, labels, version="v1")
+
+
+# ---------------------------------------------------------------------- jobs
+
+
+class TestJobs:
+    def test_job_lifecycle(self):
+        pool = WorkerPool(num_workers=1)
+        try:
+            job = pool.submit(lambda: {"answer": 42}, details={"model_key": "m@v1"})
+            job = pool.wait_for(job.job_id, timeout=5)
+            assert job.status == JobStatus.SUCCEEDED
+            assert job.result == {"answer": 42}
+            assert job.details == {"model_key": "m@v1"}
+            assert job.started_at is not None and job.finished_at is not None
+        finally:
+            pool.shutdown()
+
+    def test_failed_job_captures_error(self):
+        pool = WorkerPool(num_workers=1)
+        try:
+            def boom():
+                raise ValueError("bad batch")
+
+            job = pool.wait_for(pool.submit(boom).job_id, timeout=5)
+            assert job.status == JobStatus.FAILED
+            assert "ValueError" in job.error and "bad batch" in job.error
+        finally:
+            pool.shutdown()
+
+    def test_store_eviction_keeps_unfinished_jobs(self):
+        store = JobStore(max_jobs=2)
+        finished = store.create("diagnosis")
+        store.mark_running(finished.job_id)
+        store.mark_succeeded(finished.job_id, {})
+        pending = [store.create("diagnosis") for _ in range(2)]
+        counts = store.counts()
+        assert counts["total"] == 2
+        assert counts.get(JobStatus.SUCCEEDED, 0) == 0, "finished job evicted first"
+        for job in pending:
+            assert store.get(job.job_id).status == JobStatus.PENDING
+
+    def test_unknown_job_raises(self):
+        store = JobStore()
+        with pytest.raises(ServeError):
+            store.get("nope")
