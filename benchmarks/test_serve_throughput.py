@@ -65,9 +65,10 @@ def test_batched_extraction_beats_per_case_loop(fitted_scenario):
     batched_traj, batched_final = engine.extract("bench@v1", inputs)
     batched_seconds = time.perf_counter() - start
 
-    # Same numbers, radically different cost.
+    # Same numbers (to float32 extraction resolution — BLAS sgemm results
+    # move at ~1e-7 with batch composition), radically different cost.
     np.testing.assert_allclose(
-        np.concatenate([traj for traj, _ in per_case]), batched_traj, atol=1e-12
+        np.concatenate([traj for traj, _ in per_case]), batched_traj, atol=1e-6
     )
     speedup = per_case_seconds / max(batched_seconds, 1e-9)
     print(

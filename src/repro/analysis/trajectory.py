@@ -20,6 +20,7 @@ from .divergence import js_divergence, js_similarity, normalized_entropy
 
 __all__ = [
     "check_trajectory",
+    "check_trajectory_stack",
     "trajectory_similarity",
     "trajectory_divergence",
     "trajectory_divergence_to_stack",
@@ -42,6 +43,27 @@ def check_trajectory(trajectory: np.ndarray) -> np.ndarray:
     if trajectory.shape[0] == 0 or trajectory.shape[1] == 0:
         raise ShapeError(f"a trajectory must be non-empty, got shape {trajectory.shape}")
     return trajectory
+
+
+def check_trajectory_stack(stack: np.ndarray) -> np.ndarray:
+    """Validate and return a stack of trajectories as a float ``(M, L, C)`` array.
+
+    The batched counterpart of :func:`check_trajectory`: bulk consumers (e.g.
+    :meth:`repro.core.FootprintExtractor.from_arrays`) validate a whole
+    extraction batch once instead of re-validating each member.  ``M`` may be
+    zero; ``L`` and ``C`` must not be.
+    """
+    stack = np.asarray(stack, dtype=np.float64)
+    if stack.ndim != 3:
+        raise ShapeError(
+            f"a trajectory stack must be 3-D (members, layers, classes), "
+            f"got shape {stack.shape}"
+        )
+    if stack.shape[1] == 0 or stack.shape[2] == 0:
+        raise ShapeError(
+            f"trajectories must have non-empty layer and class axes, got shape {stack.shape}"
+        )
+    return stack
 
 
 def _layer_weights(num_layers: int, emphasis: float) -> np.ndarray:

@@ -47,6 +47,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="footprint cache capacity in cases (0 disables caching)",
     )
     parser.add_argument(
+        "--inference-dtype", choices=("float32", "float64"), default=None,
+        help="override the extraction precision of every loaded model "
+             "(default: each artifact's own policy, float32 unless saved otherwise)",
+    )
+    parser.add_argument(
         "--list", action="store_true", dest="list_only",
         help="print the registry contents and exit",
     )
@@ -100,6 +105,7 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         batch_wait_seconds=args.batch_wait,
         cache_size=args.cache_size,
         num_workers=args.workers,
+        inference_dtype=args.inference_dtype,
     )
     try:
         serve_forever(service, host=args.host, port=args.port, verbose=args.verbose)

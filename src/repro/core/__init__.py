@@ -26,7 +26,12 @@ from .classifier import (
 )
 from .diagnosis import DeepMorph, find_faulty_cases
 from .footprint import Footprint, FootprintExtractor
-from .instrument import SoftmaxInstrumentedModel, SoftmaxProbe, pool_activation
+from .instrument import (
+    SoftmaxInstrumentedModel,
+    SoftmaxProbe,
+    pool_activation,
+    pool_activation_reference,
+)
 from .patterns import ClassExecutionPattern, PatternLibrary
 from .specifics import FootprintSpecifics, compute_specifics
 
@@ -36,6 +41,7 @@ __all__ = [
     "SoftmaxProbe",
     "SoftmaxInstrumentedModel",
     "pool_activation",
+    "pool_activation_reference",
     "Footprint",
     "FootprintExtractor",
     "ClassExecutionPattern",

@@ -108,6 +108,10 @@ class DeepMorph:
     max_spatial:
         Spatial pooling cap applied to convolutional activations before the
         probes.
+    inference_dtype:
+        Compute precision of the frozen-backbone extraction path (see
+        :class:`~repro.core.SoftmaxInstrumentedModel`).  Defaults to float32;
+        pass ``"float64"`` for full-precision extraction.
     rng:
         Seed or generator controlling probe initialization and training order.
     """
@@ -121,6 +125,7 @@ class DeepMorph:
         correct_only_patterns: bool = True,
         late_layer_emphasis: float = 0.5,
         max_spatial: int = 4,
+        inference_dtype: "str | None" = "float32",
         rng: RngLike = None,
     ):
         self.probe_epochs = int(probe_epochs)
@@ -129,6 +134,7 @@ class DeepMorph:
         self.correct_only_patterns = bool(correct_only_patterns)
         self.late_layer_emphasis = float(late_layer_emphasis)
         self.max_spatial = int(max_spatial)
+        self.inference_dtype = inference_dtype
         self._rng = ensure_rng(rng)
 
         self.case_classifier = DefectCaseClassifier(classifier_config)
@@ -161,6 +167,7 @@ class DeepMorph:
             probe_batch_size=self.probe_batch_size,
             probe_learning_rate=self.probe_learning_rate,
             max_spatial=self.max_spatial,
+            inference_dtype=self.inference_dtype,
             rng=probe_rng,
         ).fit(train_data)
         self.patterns = PatternLibrary(

@@ -9,6 +9,8 @@ execution patterns to reason about defects.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -16,6 +18,7 @@ import numpy as np
 
 from ..analysis.trajectory import (
     check_trajectory,
+    check_trajectory_stack,
     commitment_depth,
     confidence_trajectory,
     divergence_layer,
@@ -25,6 +28,22 @@ from ..exceptions import ShapeError
 from .instrument import SoftmaxInstrumentedModel
 
 __all__ = ["Footprint", "FootprintExtractor"]
+
+
+# Bulk constructors (FootprintExtractor.from_arrays) validate a whole batch
+# of trajectories once and then skip the per-case __post_init__ checks; the
+# flag is thread-local so concurrent serving threads cannot leak it into each
+# other's directly-constructed Footprints.
+_bulk_state = threading.local()
+
+
+@contextmanager
+def _prevalidated():
+    _bulk_state.active = True
+    try:
+        yield
+    finally:
+        _bulk_state.active = False
 
 
 @dataclass(frozen=True)
@@ -52,6 +71,8 @@ class Footprint:
     layer_names: Optional[tuple] = None
 
     def __post_init__(self):
+        if getattr(_bulk_state, "active", False):
+            return
         check_trajectory(self.trajectory)
         final = np.asarray(self.final_probs, dtype=np.float64)
         if final.ndim != 1:
@@ -139,7 +160,7 @@ class FootprintExtractor:
         labels:
             Optional ground-truth labels, length ``n``.
         """
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs)
         if labels is not None:
             labels = np.asarray(labels)
             if labels.shape[0] != inputs.shape[0]:
@@ -163,14 +184,27 @@ class FootprintExtractor:
 
         The inverse of :meth:`extract_arrays`: serving layers that cache or
         batch raw extraction arrays use this to rebuild :class:`Footprint`
-        objects without touching the model again.
+        objects without touching the model again.  The whole batch is
+        validated once up front (shapes, class-count agreement, predictions),
+        so per-case construction skips the redundant ``__post_init__`` checks
+        — on serving batches this is the difference between O(batch) and
+        O(batch · layers) validation work.
         """
-        trajectories = np.asarray(trajectories, dtype=np.float64)
+        trajectories = check_trajectory_stack(trajectories)
         final_probs = np.asarray(final_probs, dtype=np.float64)
+        if final_probs.ndim != 2:
+            raise ShapeError(
+                f"final_probs must be 2-D (batch, classes), got shape {final_probs.shape}"
+            )
         if trajectories.shape[0] != final_probs.shape[0]:
             raise ShapeError(
                 f"trajectories and final_probs disagree on batch size: "
                 f"{trajectories.shape[0]} vs {final_probs.shape[0]}"
+            )
+        if final_probs.shape[1] != trajectories.shape[2]:
+            raise ShapeError(
+                f"final_probs has {final_probs.shape[1]} classes but trajectories "
+                f"have {trajectories.shape[2]}"
             )
         if labels is not None:
             labels = np.asarray(labels)
@@ -180,15 +214,17 @@ class FootprintExtractor:
                     f"{labels.shape[0]} vs {trajectories.shape[0]}"
                 )
         layer_names = tuple(self.instrumented.layer_names)
+        predicted = final_probs.argmax(axis=1) if final_probs.shape[0] else np.zeros(0, int)
         footprints: List[Footprint] = []
-        for i in range(trajectories.shape[0]):
-            footprints.append(Footprint(
-                trajectory=trajectories[i],
-                final_probs=final_probs[i],
-                predicted=int(final_probs[i].argmax()),
-                true_label=int(labels[i]) if labels is not None else None,
-                layer_names=layer_names,
-            ))
+        with _prevalidated():
+            for i in range(trajectories.shape[0]):
+                footprints.append(Footprint(
+                    trajectory=trajectories[i],
+                    final_probs=final_probs[i],
+                    predicted=int(predicted[i]),
+                    true_label=int(labels[i]) if labels is not None else None,
+                    layer_names=layer_names,
+                ))
         return footprints
 
     def extract_arrays(
@@ -196,7 +232,7 @@ class FootprintExtractor:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized variant returning ``(trajectories, final_probs)`` arrays."""
         return self.instrumented.layer_distributions(
-            np.asarray(inputs, dtype=np.float64), batch_size=self.batch_size
+            np.asarray(inputs), batch_size=self.batch_size
         )
 
     def extract_coalesced(

@@ -19,12 +19,27 @@ from ..data.loader import batch_iterator
 from ..exceptions import ConfigurationError, NotFittedError, ShapeError
 from ..models.base import ClassifierModel
 from ..nn import functional as F
+from ..nn.dtype import DTypeLike, autocast, resolve_dtype
 from ..nn.layers import Dense
 from ..nn.losses import SoftmaxCrossEntropy
 from ..optim.optimizers import Adam
 from ..rng import RngLike, ensure_rng, spawn
 
-__all__ = ["SoftmaxProbe", "SoftmaxInstrumentedModel", "pool_activation"]
+__all__ = [
+    "SoftmaxProbe",
+    "SoftmaxInstrumentedModel",
+    "pool_activation",
+    "pool_activation_reference",
+]
+
+
+def _pool_geometry(h: int, w: int, max_spatial: int):
+    """Ceil-sized block shape and output grid for block-average pooling."""
+    block_h = -(-h // max_spatial)
+    block_w = -(-w // max_spatial)
+    out_h = -(-h // block_h)
+    out_w = -(-w // block_w)
+    return block_h, block_w, out_h, out_w
 
 
 def pool_activation(activation: np.ndarray, max_spatial: int = 4) -> np.ndarray:
@@ -34,6 +49,45 @@ def pool_activation(activation: np.ndarray, max_spatial: int = 4) -> np.ndarray:
     ``max_spatial × max_spatial`` before flattening, which keeps probe inputs
     small without discarding the spatial layout entirely.  Dense activations
     are returned as-is.
+
+    Loop-free: when the map divides evenly into blocks, the pooling is a
+    single reshape + mean; otherwise the map is zero-padded up to a multiple
+    of the block size and each block's sum is divided by the number of *real*
+    elements it covers — numerically identical to averaging the ragged
+    trailing blocks directly.  float32/float64 input keeps its dtype, so the
+    extraction fast path stays in the active compute precision.
+    """
+    activation = np.asarray(activation)
+    if activation.dtype not in (np.float32, np.float64):
+        activation = activation.astype(np.float64)
+    if activation.ndim == 2:
+        return activation
+    if activation.ndim != 4:
+        raise ShapeError(
+            f"activations must be 2-D or 4-D, got shape {activation.shape}"
+        )
+    n, c, h, w = activation.shape
+    if h <= max_spatial and w <= max_spatial:
+        return activation.reshape(n, -1)
+    block_h, block_w, out_h, out_w = _pool_geometry(h, w, max_spatial)
+    pad_h = out_h * block_h - h
+    pad_w = out_w * block_w - w
+    if pad_h == 0 and pad_w == 0:
+        pooled = activation.reshape(n, c, out_h, block_h, out_w, block_w).mean(axis=(3, 5))
+    else:
+        padded = np.pad(activation, ((0, 0), (0, 0), (0, pad_h), (0, pad_w)))
+        sums = padded.reshape(n, c, out_h, block_h, out_w, block_w).sum(axis=(3, 5))
+        rows = np.minimum((np.arange(out_h) + 1) * block_h, h) - np.arange(out_h) * block_h
+        cols = np.minimum((np.arange(out_w) + 1) * block_w, w) - np.arange(out_w) * block_w
+        counts = (rows[:, None] * cols[None, :]).astype(activation.dtype)
+        pooled = sums / counts
+    return pooled.reshape(n, -1)
+
+
+def pool_activation_reference(activation: np.ndarray, max_spatial: int = 4) -> np.ndarray:
+    """The original O(out_h · out_w) block-loop :func:`pool_activation`.
+
+    Kept as the parity/benchmark baseline for the vectorized fast path.
     """
     activation = np.asarray(activation, dtype=np.float64)
     if activation.ndim == 2:
@@ -46,10 +100,7 @@ def pool_activation(activation: np.ndarray, max_spatial: int = 4) -> np.ndarray:
     if h <= max_spatial and w <= max_spatial:
         return activation.reshape(n, -1)
     # Block-average pooling with ceil-sized blocks covers the whole map.
-    block_h = int(np.ceil(h / max_spatial))
-    block_w = int(np.ceil(w / max_spatial))
-    out_h = int(np.ceil(h / block_h))
-    out_w = int(np.ceil(w / block_w))
+    block_h, block_w, out_h, out_w = _pool_geometry(h, w, max_spatial)
     pooled = np.zeros((n, c, out_h, out_w), dtype=np.float64)
     for i in range(out_h):
         for j in range(out_w):
@@ -160,6 +211,9 @@ class SoftmaxProbe:
                 self._dense.backward(loss.backward())
                 optimizer.step()
 
+        # The probe head only ever infers from here on; eval mode stops it
+        # retaining each prediction batch (Dense caches input for backward).
+        self._dense.eval()
         predictions = self._dense.forward(fit_feats).argmax(axis=1)
         self.training_accuracy = float(np.mean(predictions == fit_labels))
         if val_idx.size:
@@ -203,6 +257,15 @@ class SoftmaxInstrumentedModel:
         logits stage (``model.hidden_layer_names()``).
     probe_epochs, probe_batch_size, probe_learning_rate:
         Training hyper-parameters shared by all probes.
+    inference_dtype:
+        Compute precision of the frozen-backbone *extraction* path
+        (``collect_activations`` / ``layer_distributions``).  ``"float32"``
+        (also the meaning of ``None``) is the default — the backbone is
+        frozen, so extraction is pure inference and float32 halves the memory
+        traffic through the im2col/matmul hot path.  Probe *training*
+        (``fit``) always collects activations in float64, as does every
+        gradient-carrying path.  Pass ``"float64"`` to force full precision
+        end to end.
     """
 
     def __init__(
@@ -214,6 +277,7 @@ class SoftmaxInstrumentedModel:
         probe_learning_rate: float = 0.01,
         max_spatial: int = 4,
         probe_validation_fraction: float = 0.2,
+        inference_dtype: DTypeLike = "float32",
         rng: RngLike = None,
     ):
         self.model = model
@@ -232,6 +296,11 @@ class SoftmaxInstrumentedModel:
         self.probe_learning_rate = float(probe_learning_rate)
         self.max_spatial = int(max_spatial)
         self.probe_validation_fraction = float(probe_validation_fraction)
+        # None means "the documented default" (float32), not resolve_dtype's
+        # float64 fallback — callers use None for "don't care".
+        self.inference_dtype = resolve_dtype(
+            inference_dtype if inference_dtype is not None else "float32"
+        )
         self._rng = ensure_rng(rng)
 
         probe_rngs = spawn(self._rng, len(self.layer_names))
@@ -266,30 +335,36 @@ class SoftmaxInstrumentedModel:
     # -- activation collection ---------------------------------------------------
 
     def collect_activations(
-        self, inputs: np.ndarray, batch_size: int = 128
+        self, inputs: np.ndarray, batch_size: int = 128, dtype: DTypeLike = None
     ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
         """Run the frozen model and gather every instrumented layer's (pooled) output.
 
         Returns ``(activations, logits)`` where ``activations[name]`` has shape
-        ``(n, features_of_that_layer)``.
+        ``(n, features_of_that_layer)``.  ``dtype`` selects the compute
+        precision of the forward passes; ``None`` uses the model's
+        ``inference_dtype`` (probe training passes float64 explicitly).
         """
-        inputs = np.asarray(inputs, dtype=np.float64)
+        compute = self.inference_dtype if dtype is None else resolve_dtype(dtype)
+        inputs = np.asarray(inputs)
         was_training = self.model.training
         self.model.eval()
         try:
             pooled: Dict[str, List[np.ndarray]] = {name: [] for name in self.layer_names}
             logits_parts: List[np.ndarray] = []
-            for start in range(0, inputs.shape[0], batch_size):
-                batch = inputs[start:start + batch_size]
-                logits, acts = self.model.forward_collect(batch)
-                logits_parts.append(logits)
-                for name in self.layer_names:
-                    pooled[name].append(pool_activation(acts[name], max_spatial=self.max_spatial))
+            with autocast(compute):
+                for start in range(0, inputs.shape[0], batch_size):
+                    batch = inputs[start:start + batch_size]
+                    logits, acts = self.model.forward_collect(batch)
+                    logits_parts.append(logits)
+                    for name in self.layer_names:
+                        pooled[name].append(
+                            pool_activation(acts[name], max_spatial=self.max_spatial)
+                        )
             activations = {name: np.concatenate(parts, axis=0) for name, parts in pooled.items()}
             all_logits = (
                 np.concatenate(logits_parts, axis=0)
                 if logits_parts
-                else np.zeros((0, self.model.num_classes))
+                else np.zeros((0, self.model.num_classes), dtype=compute)
             )
             return activations, all_logits
         finally:
@@ -302,7 +377,10 @@ class SoftmaxInstrumentedModel:
         if len(train_data) == 0:
             raise ConfigurationError("cannot fit the instrumented model on an empty dataset")
         inputs, labels = train_data.arrays()
-        activations, _ = self.collect_activations(inputs, batch_size=batch_size)
+        # Probe training is a training path: collect features in full precision.
+        activations, _ = self.collect_activations(
+            inputs, batch_size=batch_size, dtype=np.float64
+        )
         for name in self.layer_names:
             self.probes[name].fit(activations[name], labels)
         self._fitted = True
@@ -355,13 +433,18 @@ class SoftmaxInstrumentedModel:
         """
         if not self._fitted:
             raise NotFittedError("instrumented model is not fitted; call fit() first")
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs)
         activations, logits = self.collect_activations(inputs, batch_size=batch_size)
         n = inputs.shape[0]
+        # Probe heads run in the same precision as the backbone extraction;
+        # the returned trajectories are float64 at the API boundary either way.
         trajectories = np.zeros((n, self.num_layers, self.num_classes), dtype=np.float64)
-        for layer_idx, name in enumerate(self.layer_names):
-            trajectories[:, layer_idx, :] = self.probes[name].predict_proba(activations[name])
-        final_probs = F.softmax(logits, axis=1)
+        with autocast(self.inference_dtype):
+            for layer_idx, name in enumerate(self.layer_names):
+                trajectories[:, layer_idx, :] = self.probes[name].predict_proba(
+                    activations[name]
+                )
+        final_probs = F.softmax(np.asarray(logits, dtype=np.float64), axis=1)
         return trajectories, final_probs
 
     def layer_distributions_grouped(
@@ -378,7 +461,7 @@ class SoftmaxInstrumentedModel:
         """
         if not self._fitted:
             raise NotFittedError("instrumented model is not fitted; call fit() first")
-        groups = [np.asarray(g, dtype=np.float64) for g in input_groups]
+        groups = [np.asarray(g) for g in input_groups]
         if not groups:
             return []
         sizes = [g.shape[0] for g in groups]

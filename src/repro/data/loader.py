@@ -6,7 +6,7 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, ShapeError
 from ..rng import RngLike, ensure_rng
 from .dataset import Dataset
 
@@ -28,6 +28,12 @@ def batch_iterator(
     """
     if batch_size <= 0:
         raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+    if inputs.shape[0] != labels.shape[0]:
+        # Fancy indexing would silently truncate to the shorter array.
+        raise ShapeError(
+            f"inputs and labels disagree on length: "
+            f"{inputs.shape[0]} vs {labels.shape[0]}"
+        )
     n = inputs.shape[0]
     order = np.arange(n)
     if shuffle:

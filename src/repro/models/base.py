@@ -15,6 +15,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError, ShapeError
 from ..nn import functional as F
+from ..nn.dtype import as_compute
 from ..nn.layers import Sequential
 from ..nn.module import Layer
 
@@ -63,7 +64,7 @@ class ClassifierModel(Layer):
     # -- computation ---------------------------------------------------------
 
     def _check_input(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         if x.ndim != len(self.input_shape) + 1:
             raise ShapeError(
                 f"{self.kind} expects batched inputs of shape (n, {', '.join(map(str, self.input_shape))}), "

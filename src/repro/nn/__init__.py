@@ -8,6 +8,14 @@ material of data-flow footprints.
 """
 
 from . import functional
+from .dtype import (
+    DEFAULT_DTYPE,
+    as_compute,
+    autocast,
+    compute_dtype,
+    resolve_dtype,
+    set_compute_dtype,
+)
 from .initializers import (
     Constant,
     GlorotNormal,
@@ -56,6 +64,13 @@ __all__ = [
     "functional",
     "Layer",
     "Parameter",
+    # dtype policy
+    "DEFAULT_DTYPE",
+    "autocast",
+    "as_compute",
+    "compute_dtype",
+    "resolve_dtype",
+    "set_compute_dtype",
     # layers
     "Dense",
     "Conv2D",

@@ -9,9 +9,16 @@ Conventions
 -----------
 * Images are ``NCHW``: ``(batch, channels, height, width)``.
 * Dense activations are ``(batch, features)``.
-* All functions are float64-tolerant but default to float64 output when given
-  float64 input; the layers standardize on float64 for gradient-check
-  friendliness (the workloads are small by design).
+* Functions are dtype-preserving for float32/float64 input: the *caller*
+  decides the precision (see :mod:`repro.nn.dtype`).  Training and
+  gradient-check paths feed float64; the frozen-backbone extraction fast path
+  feeds float32.
+* The extraction hot paths (``im2col``, pooling) are loop-free, built on
+  :func:`numpy.lib.stride_tricks.sliding_window_view`; ``col2im`` (backward
+  only) keeps a deliberate per-kernel-offset loop of strided adds, the
+  fastest safe form of an overlapping scatter-add (see its docstring).
+  Every hot function has a ``*_reference`` twin implemented independently;
+  the parity test suite pins the production path to them.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from ..exceptions import ShapeError
 
@@ -36,6 +44,8 @@ __all__ = [
     "one_hot",
     "im2col",
     "col2im",
+    "im2col_reference",
+    "col2im_reference",
     "conv2d_forward",
     "conv2d_backward",
     "maxpool2d_forward",
@@ -72,11 +82,13 @@ def leaky_relu_grad(x: np.ndarray, grad_out: np.ndarray, negative_slope: float =
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(x, dtype=np.result_type(x, np.float64))
+    """Numerically stable logistic sigmoid (dtype-preserving for floats)."""
+    x = np.asarray(x)
+    dtype = x.dtype if x.dtype in (np.float32, np.float64) else np.float64
+    out = np.empty(x.shape, dtype=dtype)
     pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos], dtype=dtype))
+    ex = np.exp(x[~pos], dtype=dtype)
     out[~pos] = ex / (1.0 + ex)
     return out
 
@@ -139,20 +151,37 @@ def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
     return out
 
 
-def pad_nchw(x: np.ndarray, pad: int) -> np.ndarray:
-    """Zero-pad the two spatial dimensions of an NCHW tensor."""
+def pad_nchw(x: np.ndarray, pad: int, value: float = 0.0) -> np.ndarray:
+    """Pad the two spatial dimensions of an NCHW tensor with ``value``."""
     if pad == 0:
         return x
-    return np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    return np.pad(
+        x, ((0, 0), (0, 0), (pad, pad), (pad, pad)),
+        mode="constant", constant_values=value,
+    )
 
 
-def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, pad: int) -> np.ndarray:
+def im2col(
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    pad: int,
+    pad_value: float = 0.0,
+) -> np.ndarray:
     """Rearrange image patches into a matrix for convolution-as-matmul.
+
+    Loop-free: a :func:`~numpy.lib.stride_tricks.sliding_window_view` exposes
+    every receptive field as a zero-copy view; the single ``reshape`` at the
+    end performs the one unavoidable gather.
 
     Parameters
     ----------
     x:
         Input of shape ``(N, C, H, W)``.
+    pad_value:
+        Fill value for the padded border.  Convolution and average pooling
+        use ``0``; max pooling uses ``-inf`` so padding can never win a max.
 
     Returns
     -------
@@ -165,15 +194,11 @@ def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, pad: int) -
     out_h = conv_output_size(h, kernel_h, stride, pad)
     out_w = conv_output_size(w, kernel_w, stride, pad)
 
-    img = pad_nchw(x, pad)
-    col = np.zeros((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
-    for ky in range(kernel_h):
-        y_max = ky + stride * out_h
-        for kx in range(kernel_w):
-            x_max = kx + stride * out_w
-            col[:, :, ky, kx, :, :] = img[:, :, ky:y_max:stride, kx:x_max:stride]
-
-    return col.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+    img = pad_nchw(x, pad, value=pad_value)
+    # (N, C, H', W', KH, KW) where (H', W') are the stride-1 window positions.
+    windows = sliding_window_view(img, (kernel_h, kernel_w), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]
+    return windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kernel_h * kernel_w)
 
 
 def col2im(
@@ -184,7 +209,18 @@ def col2im(
     stride: int,
     pad: int,
 ) -> np.ndarray:
-    """Inverse of :func:`im2col`: scatter-add column gradients back to image space."""
+    """Inverse of :func:`im2col`: scatter-add column gradients back to image space.
+
+    Unlike :func:`im2col`, this is an *overlapping* scatter-add, which a
+    :func:`~numpy.lib.stride_tricks.sliding_window_view` cannot express safely
+    (``+=`` through overlapping views is undefined).  The ``kernel_h ×
+    kernel_w`` loop of vectorized strided adds is deliberate: the fully
+    index-bucketed alternative (:func:`col2im_reference`) materializes an
+    int64 index array larger than the gradient itself and measures ~2x slower
+    at training scale.  col2im is only on the training/backward path —
+    inference never calls it.  Gradient that lands in the padded border is
+    cropped away (padding is a constant, it receives no gradient).
+    """
     n, c, h, w = input_shape
     out_h = conv_output_size(h, kernel_h, stride, pad)
     out_w = conv_output_size(w, kernel_w, stride, pad)
@@ -223,7 +259,8 @@ def conv2d_forward(
     Returns
     -------
     ``(output, col)`` where ``col`` is the im2col matrix cached for the
-    backward pass.
+    backward pass.  The matmul runs in the input's dtype: float64 parameters
+    are narrowed to match a float32 input rather than widening the input.
     """
     if x.ndim != 4:
         raise ShapeError(f"conv2d expects NCHW input, got shape {x.shape}")
@@ -240,9 +277,11 @@ def conv2d_forward(
 
     col = im2col(x, kh, kw, stride, pad)
     w_mat = weight.reshape(c_out, -1).T  # (C_in*KH*KW, C_out)
+    if w_mat.dtype != col.dtype:
+        w_mat = w_mat.astype(col.dtype)
     out = col @ w_mat
     if bias is not None:
-        out = out + bias
+        out = out + (bias if bias.dtype == out.dtype else bias.astype(out.dtype))
     out = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
     return out, col
 
@@ -273,24 +312,68 @@ def conv2d_backward(
 # Pooling
 # ---------------------------------------------------------------------------
 
+def _check_pool_pad(kernel: int, pad: int) -> None:
+    """Every pooling window must contain at least one real (non-padded) element."""
+    if pad >= kernel:
+        raise ShapeError(
+            f"pooling padding must be smaller than the kernel, got pad={pad} "
+            f"for kernel={kernel} (a window could consist entirely of padding)"
+        )
+
+
+def _window_real_counts(
+    h: int, w: int, kernel: int, stride: int, pad: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Number of real (non-padded) elements in each pooling window.
+
+    Returns an ``(out_h, out_w)`` array.
+    """
+    def overlap(size: int, out: int) -> np.ndarray:
+        starts = np.arange(out) * stride
+        lo = np.maximum(starts, pad)
+        hi = np.minimum(starts + kernel, pad + size)
+        return np.maximum(hi - lo, 0)
+
+    return overlap(h, out_h)[:, None] * overlap(w, out_w)[None, :]
+
+
+def _pool_windows(
+    x: np.ndarray, kernel: int, stride: int, pad: int, pad_value: float
+) -> np.ndarray:
+    """Zero-copy ``(N, C, out_h, out_w, kernel, kernel)`` view of pooling windows."""
+    img = pad_nchw(x, pad, value=pad_value)
+    return sliding_window_view(img, (kernel, kernel), axis=(2, 3))[:, :, ::stride, ::stride]
+
+
 def maxpool2d_forward(
-    x: np.ndarray, kernel: int, stride: int, pad: int = 0
-) -> Tuple[np.ndarray, np.ndarray]:
+    x: np.ndarray, kernel: int, stride: int, pad: int = 0, return_argmax: bool = True
+) -> Tuple[np.ndarray, "np.ndarray | None"]:
     """Max pooling forward pass.
+
+    Padding is filled with ``-inf`` rather than zero so a padded position can
+    never be selected: with an all-negative window, the max is the true
+    (negative) maximum, not a phantom zero from the border.
 
     Returns ``(output, argmax)`` where ``argmax`` records, per output
     position, which element of the receptive field was selected (needed to
-    route gradients in the backward pass).
+    route gradients in the backward pass).  Inference callers pass
+    ``return_argmax=False`` (and get ``argmax=None``): the max then reduces
+    directly over the sliding-window view without materializing the column
+    matrix, which is the single largest cost of the extraction hot path.
     """
     if x.ndim != 4:
         raise ShapeError(f"maxpool2d expects NCHW input, got shape {x.shape}")
+    _check_pool_pad(kernel, pad)
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel, stride, pad)
     out_w = conv_output_size(w, kernel, stride, pad)
 
-    col = im2col(x, kernel, kernel, stride, pad).reshape(n * out_h * out_w, c, kernel * kernel)
+    windows = _pool_windows(x, kernel, stride, pad, -np.inf)
+    if not return_argmax:
+        return windows.max(axis=(4, 5)), None
+    col = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c, kernel * kernel)
     argmax = col.argmax(axis=2)
-    out = col.max(axis=2)
+    out = np.take_along_axis(col, argmax[:, :, None], axis=2)[:, :, 0]
     out = out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
     return out, argmax
 
@@ -303,7 +386,13 @@ def maxpool2d_backward(
     stride: int,
     pad: int = 0,
 ) -> np.ndarray:
-    """Max pooling backward pass: route each gradient to its argmax position."""
+    """Max pooling backward pass: route each gradient to its argmax position.
+
+    Because the forward pass pads with ``-inf``, ``argmax`` always points at a
+    real input element, so no gradient is ever routed into (and then silently
+    cropped out of) the padded border.
+    """
+    _check_pool_pad(kernel, pad)
     n, c, h, w = x_shape
     out_h = conv_output_size(h, kernel, stride, pad)
     out_w = conv_output_size(w, kernel, stride, pad)
@@ -317,16 +406,34 @@ def maxpool2d_backward(
     return col2im(grad_col, x_shape, kernel, kernel, stride, pad)
 
 
-def avgpool2d_forward(x: np.ndarray, kernel: int, stride: int, pad: int = 0) -> np.ndarray:
-    """Average pooling forward pass."""
+def avgpool2d_forward(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    pad: int = 0,
+    count_include_pad: bool = True,
+) -> np.ndarray:
+    """Average pooling forward pass.
+
+    Parameters
+    ----------
+    count_include_pad:
+        When ``True`` (the historical and Table-I behaviour) every window
+        divides by ``kernel * kernel``, counting padded zeros toward the mean.
+        When ``False`` each window divides by the number of *real* elements it
+        covers, so border averages are unbiased.
+    """
     if x.ndim != 4:
         raise ShapeError(f"avgpool2d expects NCHW input, got shape {x.shape}")
+    _check_pool_pad(kernel, pad)
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel, stride, pad)
     out_w = conv_output_size(w, kernel, stride, pad)
-    col = im2col(x, kernel, kernel, stride, pad).reshape(n * out_h * out_w, c, kernel * kernel)
-    out = col.mean(axis=2)
-    return out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+    windows = _pool_windows(x, kernel, stride, pad, 0.0)
+    if count_include_pad or pad == 0:
+        return windows.mean(axis=(4, 5))
+    counts = _window_real_counts(h, w, kernel, stride, pad, out_h, out_w)
+    return windows.sum(axis=(4, 5)) / counts.astype(x.dtype)[None, None, :, :]
 
 
 def avgpool2d_backward(
@@ -335,12 +442,101 @@ def avgpool2d_backward(
     kernel: int,
     stride: int,
     pad: int = 0,
+    count_include_pad: bool = True,
 ) -> np.ndarray:
-    """Average pooling backward pass: spread each gradient evenly over its window."""
+    """Average pooling backward pass: spread each gradient evenly over its window.
+
+    Mirrors the forward divisor exactly: ``kernel * kernel`` when padding is
+    counted, the per-window real-element count otherwise.  Shares going to
+    padded positions are cropped by :func:`col2im`, which is consistent with
+    the forward pass in both modes (padded entries are constants).
+    """
+    _check_pool_pad(kernel, pad)
     n, c, h, w = x_shape
     out_h = conv_output_size(h, kernel, stride, pad)
     out_w = conv_output_size(w, kernel, stride, pad)
     grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c)
-    grad_col = np.repeat(grad_flat[:, :, None] / (kernel * kernel), kernel * kernel, axis=2)
-    grad_col = grad_col.reshape(n * out_h * out_w, c * kernel * kernel)
+    if count_include_pad or pad == 0:
+        scaled = grad_flat / (kernel * kernel)
+    else:
+        counts = _window_real_counts(h, w, kernel, stride, pad, out_h, out_w).reshape(-1)
+        scaled = grad_flat / np.tile(counts, n).astype(grad_flat.dtype)[:, None]
+    grad_col = np.broadcast_to(
+        scaled[:, :, None], (n * out_h * out_w, c, kernel * kernel)
+    ).reshape(n * out_h * out_w, c * kernel * kernel)
     return col2im(grad_col, x_shape, kernel, kernel, stride, pad)
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations (per-kernel-offset loops)
+# ---------------------------------------------------------------------------
+# The original implementations are kept verbatim as the slow-but-obviously-
+# correct baseline: the parity test suite pins the loop-free fast path above
+# to these, and the extraction benchmark measures the speedup against them.
+
+def im2col_reference(
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    pad: int,
+    pad_value: float = 0.0,
+) -> np.ndarray:
+    """Loop-based :func:`im2col` (one slice-copy per kernel offset)."""
+    if x.ndim != 4:
+        raise ShapeError(f"im2col expects NCHW input, got shape {x.shape}")
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+
+    img = pad_nchw(x, pad, value=pad_value)
+    col = np.zeros((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
+    for ky in range(kernel_h):
+        y_max = ky + stride * out_h
+        for kx in range(kernel_w):
+            x_max = kx + stride * out_w
+            col[:, :, ky, kx, :, :] = img[:, :, ky:y_max:stride, kx:x_max:stride]
+
+    return col.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+
+
+def col2im_reference(
+    col: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Index-bucketed :func:`col2im`: an independent cross-check implementation.
+
+    Every column entry's flat destination index in the padded image is
+    computed by broadcasting and the overlapping scatter-add is a single
+    :func:`numpy.bincount` — direct index bookkeeping that shares no strided
+    slice arithmetic with the production :func:`col2im`, which is what makes
+    it a useful parity baseline.  Not used at runtime: the index array it
+    materializes makes it ~2x slower than the strided-add loop at training
+    scale.
+    """
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+    hp, wp = h + 2 * pad, w + 2 * pad
+
+    # Rows of `col` are (n, out_h, out_w); columns are (c, kernel_h, kernel_w).
+    weights = (
+        col.reshape(n, out_h, out_w, c, kernel_h, kernel_w)
+        .transpose(0, 3, 1, 2, 4, 5)
+        .reshape(n * c, -1)
+    )
+    # Flat spatial index in the padded image for every (oy, ox, ky, kx).
+    ys = (np.arange(out_h) * stride)[:, None] + np.arange(kernel_h)[None, :]
+    xs = (np.arange(out_w) * stride)[:, None] + np.arange(kernel_w)[None, :]
+    spatial = (ys[:, None, :, None] * wp + xs[None, :, None, :]).reshape(-1)
+    index = (np.arange(n * c)[:, None] * (hp * wp) + spatial[None, :]).ravel()
+
+    img = np.bincount(index, weights=weights.ravel(), minlength=n * c * hp * wp)
+    img = img.reshape(n, c, hp, wp).astype(col.dtype, copy=False)
+    if pad == 0:
+        return img
+    return img[:, :, pad:-pad, pad:-pad]

@@ -20,7 +20,7 @@ class ReLU(Layer):
         self._input: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._input = x
+        self._input = self.cache_for_backward(x)
         return F.relu(x)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -38,7 +38,7 @@ class LeakyReLU(Layer):
         self._input: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._input = x
+        self._input = self.cache_for_backward(x)
         return F.leaky_relu(x, self.negative_slope)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -55,8 +55,9 @@ class Sigmoid(Layer):
         self._output: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._output = F.sigmoid(x)
-        return self._output
+        out = F.sigmoid(x)
+        self._output = self.cache_for_backward(out)
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._output is None:
@@ -72,8 +73,9 @@ class Tanh(Layer):
         self._output: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._output = F.tanh(x)
-        return self._output
+        out = F.tanh(x)
+        self._output = self.cache_for_backward(out)
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._output is None:
@@ -96,8 +98,9 @@ class Softmax(Layer):
         self._output: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._output = F.softmax(x, axis=-1)
-        return self._output
+        out = F.softmax(x, axis=-1)
+        self._output = self.cache_for_backward(out)
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._output is None:

@@ -16,6 +16,7 @@ import numpy as np
 from ...exceptions import ConfigurationError
 from ...rng import RngLike, ensure_rng, spawn
 from .. import functional as F
+from ..dtype import as_compute
 from ..module import Layer
 from .activations import ReLU
 from .conv import Conv2D
@@ -84,11 +85,11 @@ class ResidualBlock(Layer):
         self._pre_activation: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         main_out = self.main.forward(x)
         residual = self.shortcut.forward(x) if self.shortcut is not None else x
         pre_act = main_out + residual
-        self._pre_activation = pre_act
+        self._pre_activation = self.cache_for_backward(pre_act)
         return F.relu(pre_act)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -184,7 +185,7 @@ class DenseBlock(Layer):
         self._unit_input_channels: List[int] = []
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        features = np.asarray(x, dtype=np.float64)
+        features = as_compute(x)
         self._unit_input_channels = []
         for unit in self.units:
             self._unit_input_channels.append(features.shape[1])

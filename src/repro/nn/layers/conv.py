@@ -9,6 +9,7 @@ import numpy as np
 from ...exceptions import ConfigurationError
 from ...rng import RngLike, ensure_rng
 from .. import functional as F
+from ..dtype import as_compute
 from ..initializers import Initializer, get_initializer
 from ..module import Layer, Parameter
 
@@ -59,6 +60,14 @@ class Conv2D(Layer):
         if isinstance(padding, str):
             if padding != "same":
                 raise ConfigurationError(f"string padding must be 'same', got {padding!r}")
+            if kernel_size % 2 == 0:
+                # (kernel_size - 1) // 2 silently shrinks the map for even
+                # kernels: symmetric integer padding cannot preserve the
+                # spatial size, which would need asymmetric left/right pads.
+                raise ConfigurationError(
+                    f"padding='same' requires an odd kernel_size, got {kernel_size}; "
+                    f"pass an explicit integer padding instead"
+                )
             padding = (kernel_size - 1) // 2
         if padding < 0:
             raise ConfigurationError(f"padding must be non-negative, got {padding}")
@@ -92,7 +101,7 @@ class Conv2D(Layer):
         self._col: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         self._input_shape = x.shape  # type: ignore[assignment]
         out, col = F.conv2d_forward(
             x,
@@ -101,7 +110,9 @@ class Conv2D(Layer):
             self.stride,
             self.padding,
         )
-        self._col = col
+        # The column matrix is the largest extraction buffer; never retain it
+        # across inference-mode forwards.
+        self._col = self.cache_for_backward(col)
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

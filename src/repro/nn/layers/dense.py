@@ -8,6 +8,7 @@ import numpy as np
 
 from ...exceptions import ConfigurationError, ShapeError
 from ...rng import RngLike, ensure_rng
+from ..dtype import as_compute, match_dtype
 from ..initializers import Initializer, Zeros, get_initializer
 from ..module import Layer, Parameter
 
@@ -66,7 +67,7 @@ class Dense(Layer):
         self._input: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         if x.ndim != 2:
             raise ShapeError(
                 f"Dense expects 2-D input (batch, features), got shape {x.shape}; "
@@ -76,10 +77,10 @@ class Dense(Layer):
             raise ShapeError(
                 f"Dense {self.name!r} expects {self.in_features} input features, got {x.shape[1]}"
             )
-        self._input = x
-        out = x @ self.weight.data
+        self._input = self.cache_for_backward(x)
+        out = x @ match_dtype(self.weight.data, x)
         if self.bias is not None:
-            out = out + self.bias.data
+            out = out + match_dtype(self.bias.data, x)
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

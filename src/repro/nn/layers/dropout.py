@@ -8,6 +8,7 @@ import numpy as np
 
 from ...exceptions import ConfigurationError
 from ...rng import RngLike, ensure_rng
+from ..dtype import as_compute
 from ..module import Layer
 
 __all__ = ["Dropout"]
@@ -30,7 +31,7 @@ class Dropout(Layer):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         if not self.training or self.rate == 0.0:
             self._mask = None
             return x

@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from ...exceptions import ConfigurationError, ShapeError
+from ..dtype import as_compute, match_dtype
 from ..module import Layer, Parameter
 
 __all__ = ["BatchNorm1D", "BatchNorm2D"]
@@ -67,7 +68,7 @@ class _BatchNormBase(Layer):
     # Forward / backward -------------------------------------------------------
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         self._check_input(x)
         axes = self._reduce_axes()
 
@@ -77,15 +78,20 @@ class _BatchNormBase(Layer):
             self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
             self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
         else:
-            mean = self.running_mean
-            var = self.running_var
+            mean = match_dtype(self.running_mean, x)
+            var = match_dtype(self.running_var, x)
 
         mean_b = self._reshape_stats(mean)
         var_b = self._reshape_stats(var)
         inv_std = 1.0 / np.sqrt(var_b + self.eps)
+        if inv_std.dtype != x.dtype:
+            inv_std = inv_std.astype(x.dtype)
         x_hat = (x - mean_b) * inv_std
 
-        out = self._reshape_stats(self.gamma.data) * x_hat + self._reshape_stats(self.beta.data)
+        out = (
+            self._reshape_stats(match_dtype(self.gamma.data, x)) * x_hat
+            + self._reshape_stats(match_dtype(self.beta.data, x))
+        )
         if self.training:
             self._cache = (x_hat, inv_std)
         return out

@@ -8,6 +8,7 @@ import numpy as np
 
 from ...exceptions import ConfigurationError, ShapeError
 from .. import functional as F
+from ..dtype import as_compute
 from ..module import Layer
 
 __all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"]
@@ -32,20 +33,36 @@ class MaxPool2D(Layer):
             raise ConfigurationError(f"stride must be positive, got {self.stride}")
         if padding < 0:
             raise ConfigurationError(f"padding must be non-negative, got {padding}")
+        if padding >= self.kernel_size:
+            raise ConfigurationError(
+                f"padding must be smaller than kernel_size, got padding={padding} "
+                f"for kernel_size={self.kernel_size}"
+            )
         self.padding = int(padding)
         self._input_shape: Optional[Tuple[int, int, int, int]] = None
         self._argmax: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         self._input_shape = x.shape  # type: ignore[assignment]
-        out, argmax = F.maxpool2d_forward(x, self.kernel_size, self.stride, self.padding)
+        # The argmax is only needed to route gradients; inference-mode
+        # forwards skip it (and the column-matrix materialization it forces).
+        out, argmax = F.maxpool2d_forward(
+            x, self.kernel_size, self.stride, self.padding,
+            return_argmax=self.training,
+        )
         self._argmax = argmax
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._input_shape is None or self._argmax is None:
+        if self._input_shape is None:
             raise RuntimeError("backward called before forward on MaxPool2D")
+        if self._argmax is None:
+            raise RuntimeError(
+                "MaxPool2D.backward needs the argmax recorded by a training-mode "
+                "forward; the last forward ran in eval mode (which skips it). "
+                "Call train() before the forward pass that gradients flow through."
+            )
         return F.maxpool2d_backward(
             np.asarray(grad_out, dtype=np.float64),
             self._argmax,
@@ -63,13 +80,22 @@ class MaxPool2D(Layer):
 
 
 class AvgPool2D(Layer):
-    """Average pooling over square windows of an NCHW tensor."""
+    """Average pooling over square windows of an NCHW tensor.
+
+    Parameters
+    ----------
+    count_include_pad:
+        When ``True`` (the historical default, matching the Table-I runs)
+        padded zeros count toward every window's divisor; when ``False`` each
+        window divides by the number of real elements it covers.
+    """
 
     def __init__(
         self,
         kernel_size: int = 2,
         stride: Optional[int] = None,
         padding: int = 0,
+        count_include_pad: bool = True,
         name: Optional[str] = None,
     ):
         super().__init__(name=name)
@@ -81,13 +107,22 @@ class AvgPool2D(Layer):
             raise ConfigurationError(f"stride must be positive, got {self.stride}")
         if padding < 0:
             raise ConfigurationError(f"padding must be non-negative, got {padding}")
+        if padding >= self.kernel_size:
+            raise ConfigurationError(
+                f"padding must be smaller than kernel_size, got padding={padding} "
+                f"for kernel_size={self.kernel_size}"
+            )
         self.padding = int(padding)
+        self.count_include_pad = bool(count_include_pad)
         self._input_shape: Optional[Tuple[int, int, int, int]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         self._input_shape = x.shape  # type: ignore[assignment]
-        return F.avgpool2d_forward(x, self.kernel_size, self.stride, self.padding)
+        return F.avgpool2d_forward(
+            x, self.kernel_size, self.stride, self.padding,
+            count_include_pad=self.count_include_pad,
+        )
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._input_shape is None:
@@ -98,6 +133,7 @@ class AvgPool2D(Layer):
             self.kernel_size,
             self.stride,
             self.padding,
+            count_include_pad=self.count_include_pad,
         )
 
     def output_shape(self, input_shape):
@@ -118,7 +154,7 @@ class GlobalAvgPool2D(Layer):
         self._input_shape: Optional[Tuple[int, int, int, int]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         if x.ndim != 4:
             raise ShapeError(f"GlobalAvgPool2D expects NCHW input, got shape {x.shape}")
         self._input_shape = x.shape  # type: ignore[assignment]

@@ -6,6 +6,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..dtype import as_compute
 from ..module import Layer
 
 __all__ = ["Flatten"]
@@ -19,7 +20,7 @@ class Flatten(Layer):
         self._input_shape: Optional[Tuple[int, ...]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         self._input_shape = x.shape
         return x.reshape(x.shape[0], -1)
 

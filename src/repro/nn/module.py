@@ -119,6 +119,16 @@ class Layer:
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)
 
+    def cache_for_backward(self, value):
+        """Return ``value`` in training mode, ``None`` in eval mode.
+
+        Layers route every forward-pass tensor they keep for backward through
+        this helper, so inference-mode forwards (the serving extraction path)
+        never pin activation-sized buffers between requests.  Backward after
+        an eval-mode forward then fails its existing ``None`` guard.
+        """
+        return value if self.training else None
+
     # -- traversal ------------------------------------------------------------
 
     def parameters(self) -> List[Parameter]:

@@ -95,6 +95,7 @@ def save_deepmorph(morph: DeepMorph, path: PathLike) -> Path:
         "instrumented": {
             "layer_names": list(instrumented.layer_names),
             "probe_validation_fraction": instrumented.probe_validation_fraction,
+            "inference_dtype": instrumented.inference_dtype.name,
             "probes": probes_config,
         },
         "patterns": {
@@ -152,6 +153,10 @@ def _restore_instrumented(
         probe_learning_rate=hyper["probe_learning_rate"],
         max_spatial=hyper["max_spatial"],
         probe_validation_fraction=config["probe_validation_fraction"],
+        # Artifacts written before the dtype policy existed were built and
+        # validated under float64 extraction; keep serving them exactly as
+        # they behaved then.  float32 requires the artifact to say so.
+        inference_dtype=config.get("inference_dtype", "float64"),
     )
     for layer_name in instrumented.layer_names:
         weight_key = f"probe/{layer_name}/weight"
@@ -169,6 +174,7 @@ def _restore_instrumented(
         dense.weight.data = weight
         if bias is not None:
             dense.bias.data = bias.astype(np.float64)
+        dense.eval()  # inference-only: never retain prediction batches
         probe._dense = dense
         stats = config["probes"].get(layer_name, {})
         probe.training_accuracy = stats.get("training_accuracy")
@@ -256,6 +262,9 @@ def load_deepmorph(path: PathLike) -> DeepMorph:
         correct_only_patterns=hyper["correct_only_patterns"],
         late_layer_emphasis=hyper["late_layer_emphasis"],
         max_spatial=hyper["max_spatial"],
+        # Keep the facade's policy in lockstep with the restored instrumented
+        # model, so a later refit extracts at the precision the artifact chose.
+        inference_dtype=instrumented.inference_dtype.name,
     )
     morph.model = model
     morph.instrumented = instrumented

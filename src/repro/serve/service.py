@@ -14,10 +14,14 @@
 * a :class:`~repro.serve.jobs.WorkerPool` for asynchronous multi-model
   diagnosis with polled job status.
 
-A served diagnosis is numerically identical to calling
-``DeepMorph.diagnose_dataset`` on the same data: extraction is deterministic,
-the misclassification filter is the same, and the per-model context values are
-the very ones the facade recomputes on every call.
+A served diagnosis matches calling ``DeepMorph.diagnose_dataset`` on the same
+data: extraction is deterministic for a given batch composition, the
+misclassification filter is the same, and the per-model context values are
+the very ones the facade recomputes on every call.  Extraction runs in the
+model's inference dtype (float32 by default), so coalescing requests into
+different batch compositions can move probe distributions at float32
+resolution (~1e-7); construct the service with ``inference_dtype="float64"``
+for full-precision parity with offline runs.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from ..core.diagnosis import DeepMorph
 from ..core.footprint import FootprintExtractor
 from ..core.specifics import compute_specifics
 from ..exceptions import ConfigurationError, ServeError
+from ..nn.dtype import resolve_dtype
 from .batching import BatchingEngine
 from .cache import FootprintCache
 from .jobs import Job, JobStore, WorkerPool
@@ -77,6 +82,12 @@ class DiagnosisService:
         Chunk size of the underlying instrumented forward passes.
     request_timeout:
         Default seconds a synchronous diagnosis waits on the engine.
+    inference_dtype:
+        When set (``"float32"`` / ``"float64"``), overrides the extraction
+        precision of every model this service loads; ``None`` keeps each
+        artifact's own policy (float32 by default — see
+        :class:`~repro.core.SoftmaxInstrumentedModel`).  Operators who need
+        bit-identical parity with offline float64 runs pass ``"float64"``.
     """
 
     def __init__(
@@ -89,10 +100,14 @@ class DiagnosisService:
         max_loaded_models: int = 8,
         extraction_batch_size: int = 128,
         request_timeout: float = 120.0,
+        inference_dtype: Optional[str] = None,
     ):
         if max_loaded_models < 1:
             raise ServeError(f"max_loaded_models must be >= 1, got {max_loaded_models}")
         self.registry = registry if isinstance(registry, ArtifactRegistry) else ArtifactRegistry(registry)
+        self.inference_dtype = (
+            resolve_dtype(inference_dtype) if inference_dtype is not None else None
+        )
         self.extraction_batch_size = int(extraction_batch_size)
         self.request_timeout = float(request_timeout)
         self.max_loaded_models = int(max_loaded_models)
@@ -135,6 +150,8 @@ class DiagnosisService:
                 return self._entries[key]
         name, _, version = key.partition("@")
         morph = self.registry.load(name, version)
+        if self.inference_dtype is not None:
+            morph.instrumented.inference_dtype = self.inference_dtype
         entry = LoadedModel(
             key=key,
             morph=morph,
@@ -297,6 +314,9 @@ class DiagnosisService:
             "loaded_models": self.loaded_models(),
             "registered_models": self.registry.models(),
             "workers": self.pool.num_workers,
+            "inference_dtype": (
+                self.inference_dtype.name if self.inference_dtype is not None else "per-model"
+            ),
         }
 
     # -- lifecycle ----------------------------------------------------------------

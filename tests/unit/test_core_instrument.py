@@ -239,8 +239,11 @@ class TestGroupedExtraction:
         assert len(grouped) == 3
         for group, (trajectories, final_probs) in zip(groups, grouped):
             direct_traj, direct_final = instrumented.layer_distributions(group)
-            np.testing.assert_allclose(trajectories, direct_traj, atol=1e-12)
-            np.testing.assert_allclose(final_probs, direct_final, atol=1e-12)
+            # Extraction runs in float32 by default; BLAS sgemm results differ
+            # at float32 resolution with batch composition, so grouped and
+            # per-group calls agree to ~1e-7, not bit-exactly.
+            np.testing.assert_allclose(trajectories, direct_traj, atol=1e-6)
+            np.testing.assert_allclose(final_probs, direct_final, atol=1e-6)
 
     def test_grouped_handles_empty_group_and_empty_input(self, fitted_deepmorph, tiny_splits):
         _, test = tiny_splits
@@ -261,5 +264,6 @@ class TestGroupedExtraction:
         rebuilt = extractor.from_arrays(trajectories, final_probs, labels[:5])
         direct = extractor.extract(inputs[:5], labels[:5])
         for a, b in zip(rebuilt, direct):
-            np.testing.assert_allclose(a.trajectory, b.trajectory, atol=1e-12)
+            # float32 extraction: agreement to float32 resolution (see above).
+            np.testing.assert_allclose(a.trajectory, b.trajectory, atol=1e-6)
             assert a.predicted == b.predicted and a.true_label == b.true_label

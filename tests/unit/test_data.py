@@ -139,6 +139,11 @@ class TestDataLoader:
         with pytest.raises(ConfigurationError):
             DataLoader(small_dataset, batch_size=0)
 
+    def test_batch_iterator_rejects_length_mismatch(self):
+        # Mismatched arrays used to truncate silently via fancy indexing.
+        with pytest.raises(ShapeError, match="disagree on length"):
+            list(batch_iterator(np.zeros((10, 2)), np.zeros(7), 4))
+
 
 class TestTransforms:
     def test_normalize(self):

@@ -128,9 +128,27 @@ class TestPoolingGradients:
         x = rng.normal(size=(2, 2, 6, 6))
         check_input_gradient(layer, x)
 
+    def test_maxpool_padded_input_gradient(self, rng):
+        layer = MaxPool2D(3, stride=2, padding=1)
+        x = rng.normal(size=(2, 2, 7, 7))
+        check_input_gradient(layer, x)
+
+    def test_maxpool_padded_all_negative_input_gradient(self, rng):
+        # Pre-fix, padded zeros won the max over all-negative windows, so the
+        # boundary gradients vanished into the (cropped) padding.
+        layer = MaxPool2D(2, stride=2, padding=1)
+        x = -1.0 - rng.random(size=(2, 2, 6, 6))
+        check_input_gradient(layer, x)
+
     def test_avgpool_input_gradient(self, rng):
         layer = AvgPool2D(2)
         x = rng.normal(size=(2, 2, 6, 6))
+        check_input_gradient(layer, x)
+
+    @pytest.mark.parametrize("count_include_pad", [True, False])
+    def test_avgpool_padded_input_gradient(self, rng, count_include_pad):
+        layer = AvgPool2D(3, stride=2, padding=1, count_include_pad=count_include_pad)
+        x = rng.normal(size=(2, 2, 7, 7))
         check_input_gradient(layer, x)
 
     def test_global_avgpool_input_gradient(self, rng):

@@ -63,6 +63,18 @@ class TestConv2D:
         with pytest.raises(ConfigurationError):
             Conv2D(1, 2, 3, padding="valid")
 
+    def test_same_padding_rejects_even_kernel(self):
+        # (kernel_size - 1) // 2 cannot preserve spatial size for even
+        # kernels; the old code silently shrank the map instead.
+        with pytest.raises(ConfigurationError, match="odd kernel_size"):
+            Conv2D(1, 2, kernel_size=4, padding="same")
+
+    def test_same_padding_accepts_odd_kernels(self):
+        for kernel in (1, 3, 5):
+            layer = Conv2D(1, 2, kernel_size=kernel, padding="same", rng=0)
+            out = layer.forward(np.zeros((1, 1, 9, 9)))
+            assert out.shape == (1, 2, 9, 9), f"kernel={kernel}"
+
     def test_rejects_negative_kernel(self):
         with pytest.raises(ConfigurationError):
             Conv2D(1, 2, kernel_size=-1)

@@ -344,6 +344,60 @@ class TestServiceEviction:
                 service.diagnose("m", inputs, labels, version="v1")
 
 
+class TestServiceInferenceDtype:
+    def test_override_forces_loaded_models_to_float64(
+        self, tmp_path, fitted_deepmorph, tiny_splits
+    ):
+        from repro.serve import DiagnosisService
+
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        registry = ArtifactRegistry(tmp_path / "registry")
+        registry.register("m", fitted_deepmorph)
+        with DiagnosisService(
+            registry, batch_wait_seconds=0.001, num_workers=1, inference_dtype="float64"
+        ) as service:
+            report = service.diagnose("m", inputs, labels)
+            assert report.num_cases > 0
+            entry = service._entry(service.resolve_key("m"))
+            assert entry.morph.instrumented.inference_dtype == np.float64
+            assert service.stats()["inference_dtype"] == "float64"
+
+    def test_default_keeps_artifact_policy(self, tmp_path, fitted_deepmorph):
+        from repro.serve import DiagnosisService
+
+        registry = ArtifactRegistry(tmp_path / "registry")
+        registry.register("m", fitted_deepmorph)
+        with DiagnosisService(registry, batch_wait_seconds=0.001, num_workers=1) as service:
+            entry = service._entry(service.resolve_key("m"))
+            # Artifacts record their own policy (float32 by default).
+            assert entry.morph.instrumented.inference_dtype == np.float32
+            assert service.stats()["inference_dtype"] == "per-model"
+
+    def test_legacy_artifact_without_dtype_loads_as_float64(
+        self, tmp_path, fitted_deepmorph
+    ):
+        # Artifacts saved before the dtype policy existed were validated
+        # under float64 extraction; upgrading must not silently change what
+        # they serve.
+        import json
+
+        from repro.serialize import load_deepmorph, save_deepmorph
+
+        path = save_deepmorph(fitted_deepmorph, tmp_path / "legacy.npz")
+        with np.load(path, allow_pickle=False) as payload:
+            config = json.loads(str(payload["__config__"]))
+            arrays = {key: payload[key] for key in payload.files if key != "__config__"}
+        del config["instrumented"]["inference_dtype"]
+        arrays["__config__"] = np.array(json.dumps(config))
+        np.savez_compressed(path, **arrays)
+
+        reloaded = load_deepmorph(path)
+        assert reloaded.instrumented.inference_dtype == np.float64
+        # The facade stays in lockstep so a refit keeps the artifact's policy.
+        assert reloaded.inference_dtype == "float64"
+
+
 # ---------------------------------------------------------------------- jobs
 
 
