@@ -1,0 +1,149 @@
+"""Benchmark of the batched diagnosis core against the per-case reference path.
+
+The claim of the diagnosis rework: stacking all N faulty-case trajectories
+into one ``(N, L, C)`` array, judging them against every class execution
+pattern through broadcasted JS-divergence kernels, and scoring every case in
+a single ``(N, F) @ (F, D)`` matrix product makes end-to-end diagnosis (given
+already-extracted footprints) at least three times faster than the retained
+per-case path — while matching it to ``1e-12``.
+
+The reference side is the per-case implementation kept for exactly this
+purpose: :func:`repro.core.compute_specifics` (one footprint at a time
+against the library) feeding ``DefectCaseClassifier.aggregate_reference``
+(one matrix-vector product and softmax per case).
+
+The measured rates and the batched-vs-loop ratio are written to
+``BENCH_diagnosis.json`` so CI can archive the perf trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DefectCaseClassifier,
+    DiagnosisContext,
+    FootprintExtractor,
+    PatternLibrary,
+    SoftmaxInstrumentedModel,
+    compute_specifics,
+    compute_specifics_batch,
+)
+from repro.data import SyntheticConfig, SyntheticImageClassification
+from repro.models import LeNet
+
+NUM_CASES = 256
+REPEATS = 3
+MIN_SPEEDUP = 3.0  # acceptance floor at N=256; locally this measures far higher
+PARITY_BOUND = 1e-12
+RESULT_PATH = os.environ.get("BENCH_DIAGNOSIS_JSON", "BENCH_diagnosis.json")
+
+
+@pytest.fixture(scope="module")
+def diagnosis_scenario():
+    """A fitted pattern library plus N=256 labeled faulty-case footprints."""
+    generator = SyntheticImageClassification(SyntheticConfig(
+        num_classes=4, image_size=16, channels=1, templates_per_class=2,
+        blobs_per_template=2, bars_per_template=1, noise_std=0.05,
+        max_shift=1, distractor_bars=0, seed=5,
+    ))
+    train, test = generator.splits(n_train_per_class=10, n_test_per_class=64, rng=0)
+    model = LeNet(
+        input_shape=(1, 16, 16), num_classes=4,
+        conv_channels=(8, 16), dense_units=(32,), kernel_size=3, rng=3,
+    )
+    model.eval()
+    instrumented = SoftmaxInstrumentedModel(model, probe_epochs=1, rng=0).fit(train)
+    library = PatternLibrary(instrumented).fit(train)
+
+    inputs, _ = test.arrays()
+    inputs = inputs[:NUM_CASES]
+    assert inputs.shape[0] == NUM_CASES
+    trajectories, final_probs = instrumented.layer_distributions(inputs)
+    # Force every case to be "faulty": the true label is deliberately set to a
+    # class other than the prediction, which is all diagnosis requires.
+    labels = (final_probs.argmax(axis=1) + 1) % 4
+    footprints = FootprintExtractor(instrumented).from_arrays(
+        trajectories, final_probs, labels
+    )
+    context = DiagnosisContext(
+        error_concentration=0.4,
+        pattern_overlap=library.pattern_overlap(),
+        feature_quality=library.feature_quality(),
+        training_inconsistency=library.training_inconsistency(),
+    )
+    return library, footprints, context
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_batched_diagnosis_beats_per_case_reference(diagnosis_scenario):
+    library, footprints, context = diagnosis_scenario
+    classifier = DefectCaseClassifier()
+
+    def batched():
+        specifics = compute_specifics_batch(footprints, library)
+        return classifier.aggregate(specifics, context=context)
+
+    def reference():
+        specifics = [compute_specifics(fp, library) for fp in footprints]
+        return classifier.aggregate_reference(specifics, context=context)
+
+    # Warm-up both sides so lazily-built pattern indexes and first-touch
+    # allocations skew neither measurement.
+    report_batched = batched()
+    report_reference = reference()
+
+    batched_seconds = _best_of(batched)
+    reference_seconds = _best_of(reference)
+    speedup = reference_seconds / max(batched_seconds, 1e-9)
+
+    n = len(footprints)
+    print(
+        f"\nper-case reference: {reference_seconds * 1e3:7.1f} ms  "
+        f"({n / reference_seconds:8.1f} cases/s)"
+    )
+    print(
+        f"batched core:       {batched_seconds * 1e3:7.1f} ms  "
+        f"({n / batched_seconds:8.1f} cases/s)  speedup x{speedup:.2f}"
+    )
+
+    payload = {
+        "num_cases": n,
+        "cases_per_sec_batched": n / batched_seconds,
+        "cases_per_sec_reference": n / reference_seconds,
+        "batched_vs_loop_speedup": speedup,
+    }
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    # Same diagnosis, radically different cost.
+    for defect, ratio in report_reference.ratios.items():
+        assert abs(report_batched.ratios[defect] - ratio) <= PARITY_BOUND
+        assert report_batched.counts[defect] == report_reference.counts[defect]
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched diagnosis only reached x{speedup:.2f} over the per-case "
+        f"reference at N={n} (floor: x{MIN_SPEEDUP})"
+    )
+
+
+def test_batched_specifics_match_reference_case_by_case(diagnosis_scenario):
+    """Field-level parity of every specifics value on the real fitted library."""
+    library, footprints, _ = diagnosis_scenario
+    batched = compute_specifics_batch(footprints, library)
+    for fp, spec in zip(footprints, batched):
+        reference = compute_specifics(fp, library)
+        for key, value in reference.as_dict().items():
+            assert abs(float(spec.as_dict()[key]) - float(value)) <= PARITY_BOUND, key

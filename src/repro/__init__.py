@@ -35,6 +35,7 @@ from .core import (
     SoftmaxInstrumentedModel,
     SoftmaxProbe,
     compute_specifics,
+    compute_specifics_batch,
     find_faulty_cases,
 )
 from .defects import (
@@ -81,6 +82,7 @@ __all__ = [
     "PatternLibrary",
     "FootprintSpecifics",
     "compute_specifics",
+    "compute_specifics_batch",
     "DefectClassifierConfig",
     "DefectCaseClassifier",
     "DefectReport",

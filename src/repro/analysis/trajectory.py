@@ -24,12 +24,21 @@ __all__ = [
     "trajectory_similarity",
     "trajectory_divergence",
     "trajectory_divergence_to_stack",
+    "batch_trajectory_divergence",
+    "batch_trajectory_similarity",
+    "cross_trajectory_divergences",
+    "cross_trajectory_layer_divergences",
     "pairwise_trajectory_divergences",
+    "pairwise_trajectory_divergences_reference",
     "divergence_layer",
+    "batch_divergence_layer",
     "commitment_depth",
+    "batch_commitment_depth",
     "confidence_trajectory",
     "entropy_profile",
+    "batch_entropy_profile",
     "layer_stability",
+    "batch_layer_stability",
 ]
 
 
@@ -131,10 +140,130 @@ def trajectory_divergence_to_stack(
     return np.average(divs, axis=1, weights=weights)
 
 
+def batch_trajectory_divergence(
+    stack: np.ndarray, reference: np.ndarray, late_layer_emphasis: float = 0.5
+) -> np.ndarray:
+    """Layer-weighted JS divergence of every stack member to one reference.
+
+    Parameters
+    ----------
+    stack:
+        ``(N, L, C)`` stack of trajectories.
+    reference:
+        ``(L, C)`` trajectory, e.g. a class pattern mean.
+
+    Returns
+    -------
+    ``(N,)`` divergences — the batch-first mirror of
+    :func:`trajectory_divergence_to_stack` (JS is symmetric, so the two agree
+    bit for bit).
+    """
+    return trajectory_divergence_to_stack(
+        reference, stack, late_layer_emphasis=late_layer_emphasis
+    )
+
+
+def batch_trajectory_similarity(
+    stack: np.ndarray, reference: np.ndarray, late_layer_emphasis: float = 0.5
+) -> np.ndarray:
+    """Layer-weighted JS similarity (``[0, 1]``) of every stack member to a reference.
+
+    Since the layer weights are normalized, this is exactly one minus the
+    normalized divergence — the same identity the batched pattern matcher
+    uses, so validation and weighting live in one kernel.
+    """
+    divergences = batch_trajectory_divergence(
+        stack, reference, late_layer_emphasis=late_layer_emphasis
+    )
+    return 1.0 - divergences / np.log(2.0)
+
+
+#: Soft cap (in float64 elements) on the broadcast temporaries of the cross
+#: kernel; blocks of rows are processed so peak memory stays bounded no matter
+#: how many cases are diagnosed at once.
+_CROSS_BLOCK_ELEMENTS = 1 << 22
+
+
+def cross_trajectory_layer_divergences(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-layer JS divergences between two trajectory stacks, shape ``(N, M, L)``.
+
+    The elementwise core of the cross kernel: every member of ``a``
+    (``(N, L, C)``) against every member of ``b`` (``(M, L, C)``) in one
+    broadcasted computation, before any layer weighting.  Row blocks keep the
+    ``(block, M, L, C)`` temporaries under a fixed memory budget.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 3 or b.ndim != 3:
+        raise ShapeError(
+            f"stacks must be 3-D (members, layers, classes), got {a.shape} vs {b.shape}"
+        )
+    if a.shape[1:] != b.shape[1:]:
+        raise ShapeError(
+            f"stacks must agree on (layers, classes), got {a.shape} vs {b.shape}"
+        )
+    if a.shape[1] == 0 or a.shape[2] == 0:
+        raise ShapeError(
+            f"trajectories must have non-empty layer and class axes, got shape {a.shape}"
+        )
+    n, m = a.shape[0], b.shape[0]
+    l, c = a.shape[1], a.shape[2]
+    out = np.empty((n, m, l), dtype=np.float64)
+    block = max(1, _CROSS_BLOCK_ELEMENTS // max(1, m * l * c))
+    for start in range(0, n, block):
+        sub = a[start:start + block]
+        shape = (sub.shape[0], m, l, c)
+        out[start:start + block] = js_divergence(
+            np.broadcast_to(sub[:, None], shape),
+            np.broadcast_to(b[None, :], shape),
+            axis=3,
+        )
+    return out
+
+
+def cross_trajectory_divergences(
+    a: np.ndarray, b: np.ndarray, late_layer_emphasis: float = 0.5
+) -> np.ndarray:
+    """``(N, M)`` layer-weighted JS divergences between two trajectory stacks.
+
+    Every member of ``a`` (``(N, L, C)``) is compared against every member of
+    ``b`` (``(M, L, C)``) in one broadcasted kernel — the batched core behind
+    nearest-member analysis and the vectorized pairwise matrix.
+    """
+    divs = cross_trajectory_layer_divergences(a, b)
+    weights = _layer_weights(divs.shape[2], late_layer_emphasis)
+    return np.average(divs, axis=2, weights=weights)
+
+
 def pairwise_trajectory_divergences(
     stack: np.ndarray, late_layer_emphasis: float = 0.5
 ) -> np.ndarray:
-    """Symmetric ``(M, M)`` matrix of layer-weighted JS divergences within a stack."""
+    """Symmetric ``(M, M)`` matrix of layer-weighted JS divergences within a stack.
+
+    Loop-free: one :func:`cross_trajectory_divergences` call of the stack
+    against itself.  :func:`pairwise_trajectory_divergences_reference` retains
+    the per-row loop as the parity anchor.
+    """
+    stack = np.asarray(stack, dtype=np.float64)
+    if stack.ndim != 3:
+        raise ShapeError(f"stack must be 3-D (members, layers, classes), got shape {stack.shape}")
+    if stack.shape[0] == 0:
+        return np.zeros((0, 0), dtype=np.float64)
+    matrix = cross_trajectory_divergences(
+        stack, stack, late_layer_emphasis=late_layer_emphasis
+    )
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+def pairwise_trajectory_divergences_reference(
+    stack: np.ndarray, late_layer_emphasis: float = 0.5
+) -> np.ndarray:
+    """Per-row loop implementation of :func:`pairwise_trajectory_divergences`.
+
+    Retained as the independent reference the vectorized kernel is pinned
+    against (see ``tests/unit/test_batched_diagnosis.py``).
+    """
     stack = np.asarray(stack, dtype=np.float64)
     if stack.ndim != 3:
         raise ShapeError(f"stack must be 3-D (members, layers, classes), got shape {stack.shape}")
@@ -163,6 +292,33 @@ def divergence_layer(trajectory: np.ndarray, true_class: int) -> int:
     return int(mismatches[0]) if mismatches.size else int(trajectory.shape[0])
 
 
+def batch_divergence_layer(stack: np.ndarray, true_classes: np.ndarray) -> np.ndarray:
+    """First layer whose top-1 differs from each case's true class, for a whole stack.
+
+    The array-wide counterpart of :func:`divergence_layer`: ``(N,)`` layer
+    indices, with ``L`` for cases that never diverge.
+    """
+    stack = check_trajectory_stack(stack)
+    true_classes = np.asarray(true_classes, dtype=np.int64)
+    if true_classes.shape != (stack.shape[0],):
+        raise ShapeError(
+            f"true_classes must be 1-D with one entry per case, got shape "
+            f"{true_classes.shape} for {stack.shape[0]} cases"
+        )
+    if stack.shape[0] and (
+        true_classes.min() < 0 or true_classes.max() >= stack.shape[2]
+    ):
+        raise ShapeError(
+            f"true classes must lie in [0, {stack.shape[2]}), got range "
+            f"[{true_classes.min()}, {true_classes.max()}]"
+        )
+    top1 = stack.argmax(axis=2)
+    mismatches = top1 != true_classes[:, None]
+    return np.where(
+        mismatches.any(axis=1), mismatches.argmax(axis=1), stack.shape[1]
+    ).astype(np.int64)
+
+
 def commitment_depth(trajectory: np.ndarray, predicted_class: int) -> float:
     """Fraction of trailing layers whose top-1 prediction already is ``predicted_class``.
 
@@ -182,6 +338,33 @@ def commitment_depth(trajectory: np.ndarray, predicted_class: int) -> float:
         else:
             break
     return depth / trajectory.shape[0]
+
+
+def batch_commitment_depth(stack: np.ndarray, predicted_classes: np.ndarray) -> np.ndarray:
+    """Trailing-commitment fraction of every stack member, loop-free.
+
+    The array-wide counterpart of :func:`commitment_depth`: the length of the
+    trailing run of layers whose top-1 already is the case's predicted class,
+    found by scanning the reversed match mask for its first ``False``.
+    """
+    stack = check_trajectory_stack(stack)
+    predicted_classes = np.asarray(predicted_classes, dtype=np.int64)
+    if predicted_classes.shape != (stack.shape[0],):
+        raise ShapeError(
+            f"predicted_classes must be 1-D with one entry per case, got shape "
+            f"{predicted_classes.shape} for {stack.shape[0]} cases"
+        )
+    if stack.shape[0] and (
+        predicted_classes.min() < 0 or predicted_classes.max() >= stack.shape[2]
+    ):
+        raise ShapeError(
+            f"predicted classes must lie in [0, {stack.shape[2]}), got range "
+            f"[{predicted_classes.min()}, {predicted_classes.max()}]"
+        )
+    top1 = stack.argmax(axis=2)
+    trailing = (top1 == predicted_classes[:, None])[:, ::-1]
+    depths = np.where(trailing.all(axis=1), stack.shape[1], trailing.argmin(axis=1))
+    return depths / stack.shape[1]
 
 
 def confidence_trajectory(trajectory: np.ndarray, target_class: int) -> np.ndarray:
@@ -211,3 +394,18 @@ def layer_stability(trajectory: np.ndarray) -> float:
         return 1.0
     consecutive = js_divergence(trajectory[:-1], trajectory[1:], axis=1) / np.log(2.0)
     return float(1.0 - consecutive.mean())
+
+
+def batch_entropy_profile(stack: np.ndarray) -> np.ndarray:
+    """Per-layer normalized entropies of a whole stack, shape ``(N, L)``."""
+    stack = check_trajectory_stack(stack)
+    return normalized_entropy(stack, axis=2)
+
+
+def batch_layer_stability(stack: np.ndarray) -> np.ndarray:
+    """Consecutive-layer belief stability of every stack member, shape ``(N,)``."""
+    stack = check_trajectory_stack(stack)
+    if stack.shape[1] < 2:
+        return np.ones(stack.shape[0], dtype=np.float64)
+    consecutive = js_divergence(stack[:, :-1], stack[:, 1:], axis=2) / np.log(2.0)
+    return 1.0 - consecutive.mean(axis=1)

@@ -21,6 +21,7 @@ from .classifier import (
     DefectReport,
     DiagnosisContext,
     FEATURE_NAMES,
+    build_feature_matrix,
     build_feature_vector,
     error_concentration,
 )
@@ -32,8 +33,13 @@ from .instrument import (
     pool_activation,
     pool_activation_reference,
 )
-from .patterns import ClassExecutionPattern, PatternLibrary
-from .specifics import FootprintSpecifics, compute_specifics
+from .patterns import ClassExecutionPattern, PatternLibrary, PatternMatches
+from .specifics import (
+    FootprintSpecifics,
+    compute_specifics,
+    compute_specifics_batch,
+    compute_specifics_stack,
+)
 
 __all__ = [
     "DeepMorph",
@@ -46,8 +52,11 @@ __all__ = [
     "FootprintExtractor",
     "ClassExecutionPattern",
     "PatternLibrary",
+    "PatternMatches",
     "FootprintSpecifics",
     "compute_specifics",
+    "compute_specifics_batch",
+    "compute_specifics_stack",
     "DefectClassifierConfig",
     "DefectCaseClassifier",
     "CaseVerdict",
@@ -55,5 +64,6 @@ __all__ = [
     "DiagnosisContext",
     "FEATURE_NAMES",
     "build_feature_vector",
+    "build_feature_matrix",
     "error_concentration",
 ]

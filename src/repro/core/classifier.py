@@ -37,6 +37,7 @@ __all__ = [
     "DefectCaseClassifier",
     "FEATURE_NAMES",
     "build_feature_vector",
+    "build_feature_matrix",
     "error_concentration",
 ]
 
@@ -133,6 +134,38 @@ def build_feature_vector(
         context.feature_quality,
         context.training_inconsistency,
     ], dtype=np.float64)
+
+
+def build_feature_matrix(
+    specifics: Sequence[FootprintSpecifics], context: DiagnosisContext
+) -> np.ndarray:
+    """Assemble all case feature vectors as one ``(N, F)`` matrix.
+
+    The batched counterpart of :func:`build_feature_vector`: the context
+    columns are broadcast once and the per-case columns are filled from the
+    specifics, so the defect scores of a whole faulty-case batch reduce to a
+    single ``(N, F) @ (F, D)`` product in
+    :meth:`DefectCaseClassifier.classify_batch`.
+    """
+    n = len(specifics)
+    matrix = np.empty((n, len(FEATURE_NAMES)), dtype=np.float64)
+    matrix[:, 0] = 1.0
+    matrix[:, 1] = [s.final_confidence for s in specifics]
+    matrix[:, 2] = [s.commitment for s in specifics]
+    matrix[:, 3] = [s.match_predicted for s in specifics]
+    matrix[:, 4] = [s.match_true for s in specifics]
+    matrix[:, 5] = [s.atypicality_true for s in specifics]
+    matrix[:, 6] = [s.mean_entropy for s in specifics]
+    matrix[:, 7] = [s.late_entropy for s in specifics]
+    matrix[:, 8] = [s.nn_typicality_predicted for s in specifics]
+    matrix[:, 9] = [s.nn_typicality_true for s in specifics]
+    matrix[:, 10] = [s.stability for s in specifics]
+    matrix[:, 11] = [s.divergence_point for s in specifics]
+    matrix[:, 12] = context.error_concentration
+    matrix[:, 13] = context.pattern_overlap
+    matrix[:, 14] = context.feature_quality
+    matrix[:, 15] = context.training_inconsistency
+    return matrix
 
 
 # Default scoring weights, one row per defect type, columns ordered as
@@ -382,7 +415,13 @@ class DefectCaseClassifier:
     def classify_case(
         self, specifics: FootprintSpecifics, context: Optional[DiagnosisContext] = None
     ) -> CaseVerdict:
-        """Score one case and convert the scores into evidence and a hard verdict."""
+        """Score one case — a thin view over the batched core (``N = 1``)."""
+        return self.classify_batch([specifics], context)[0]
+
+    def classify_case_reference(
+        self, specifics: FootprintSpecifics, context: Optional[DiagnosisContext] = None
+    ) -> CaseVerdict:
+        """Per-case scoring loop retained as the batched core's parity reference."""
         scores = self.scores(specifics, context)
         raw = np.array([scores[d] for d in self._ORDER], dtype=np.float64)
         if self.config.soft_assignment:
@@ -396,6 +435,68 @@ class DefectCaseClassifier:
         evidence = {defect: float(w) for defect, w in zip(self._ORDER, weights)}
         verdict = self._ORDER[int(raw.argmax())]
         return CaseVerdict(specifics=specifics, scores=scores, evidence=evidence, verdict=verdict)
+
+    # -- batched scoring ------------------------------------------------------------
+
+    def score_matrix(
+        self, specifics: Sequence[FootprintSpecifics], context: Optional[DiagnosisContext] = None
+    ) -> np.ndarray:
+        """Raw linear defect scores of a whole batch: ``(N, D)`` ordered ITD, UTD, SD.
+
+        One ``(N, F) @ (F, D)`` matrix product instead of N per-case
+        matrix-vector products — the batched core every scoring API sits on.
+        """
+        context = context or DiagnosisContext()
+        features = build_feature_matrix(specifics, context)
+        return features @ self.config.weight_matrix().T
+
+    def _evidence_weights(self, raw: np.ndarray) -> np.ndarray:
+        """Per-case evidence weights (``(N, D)``) from raw scores, vectorized."""
+        if self.config.soft_assignment:
+            logits = raw / self.config.temperature
+            logits = logits - logits.max(axis=1, keepdims=True)
+            weights = np.exp(logits)
+            weights /= weights.sum(axis=1, keepdims=True)
+            return weights
+        weights = np.zeros_like(raw)
+        weights[np.arange(raw.shape[0]), raw.argmax(axis=1)] = 1.0
+        return weights
+
+    def _score_batch(
+        self,
+        specifics: Sequence[FootprintSpecifics],
+        context: Optional[DiagnosisContext],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[CaseVerdict]]:
+        """Batched scoring core shared by :meth:`classify_batch` and :meth:`aggregate`.
+
+        Returns ``(raw scores, evidence weights, verdict indices, verdicts)``
+        so aggregation can reduce over the arrays while handing the per-case
+        verdict objects to the report.
+        """
+        raw = self.score_matrix(specifics, context)
+        weights = self._evidence_weights(raw)
+        verdict_indices = raw.argmax(axis=1)
+        verdicts = [
+            CaseVerdict(
+                specifics=s,
+                scores={defect: float(raw[i, j]) for j, defect in enumerate(self._ORDER)},
+                evidence={defect: float(weights[i, j]) for j, defect in enumerate(self._ORDER)},
+                verdict=self._ORDER[int(verdict_indices[i])],
+            )
+            for i, s in enumerate(specifics)
+        ]
+        return raw, weights, verdict_indices, verdicts
+
+    def classify_batch(
+        self,
+        specifics: Sequence[FootprintSpecifics],
+        context: Optional[DiagnosisContext] = None,
+    ) -> List[CaseVerdict]:
+        """Score every case of a batch through the single-matmul core."""
+        specifics = list(specifics)
+        if not specifics:
+            return []
+        return self._score_batch(specifics, context)[3]
 
     # -- aggregation ---------------------------------------------------------------
 
@@ -424,14 +525,51 @@ class DefectCaseClassifier:
         context: Optional[DiagnosisContext] = None,
         metadata: Optional[Dict] = None,
     ) -> DefectReport:
-        """Classify every faulty case and aggregate the evidence into a report."""
+        """Classify every faulty case and aggregate the evidence into a report.
+
+        Batched: one ``(N, F) @ (F, D)`` score matrix, vectorized evidence
+        softmax, and array reductions for the counts and ratios.  The per-case
+        verdict objects are still materialized for drill-down and ablation.
+        """
+        specifics = list(specifics)
         if not specifics:
             raise ConfigurationError(
                 "cannot aggregate an empty list of faulty cases; the model produced no "
                 "misclassifications to diagnose"
             )
         context = context or DiagnosisContext()
-        verdicts = [self.classify_case(s, context) for s in specifics]
+        _, weights, verdict_indices, verdicts = self._score_batch(specifics, context)
+
+        evidence_totals = weights.sum(axis=0)
+        count_values = np.bincount(verdict_indices, minlength=len(self._ORDER))
+        total = float(evidence_totals.sum())
+        ratios = {
+            defect: float(evidence_totals[j] / total) for j, defect in enumerate(self._ORDER)
+        }
+        counts = {defect: int(count_values[j]) for j, defect in enumerate(self._ORDER)}
+        return DefectReport(
+            ratios=ratios,
+            counts=counts,
+            num_cases=len(verdicts),
+            verdicts=verdicts,
+            context=context,
+            metadata=dict(metadata or {}),
+        )
+
+    def aggregate_reference(
+        self,
+        specifics: Sequence[FootprintSpecifics],
+        context: Optional[DiagnosisContext] = None,
+        metadata: Optional[Dict] = None,
+    ) -> DefectReport:
+        """Per-case aggregation loop retained as the batched path's parity reference."""
+        if not specifics:
+            raise ConfigurationError(
+                "cannot aggregate an empty list of faulty cases; the model produced no "
+                "misclassifications to diagnose"
+            )
+        context = context or DiagnosisContext()
+        verdicts = [self.classify_case_reference(s, context) for s in specifics]
 
         evidence_totals = {defect: 0.0 for defect in self._ORDER}
         counts = {defect: 0 for defect in self._ORDER}

@@ -16,6 +16,7 @@ import numpy as np
 from ..data.dataset import ArrayDataset, Dataset
 from ..exceptions import ConfigurationError, DatasetError, NotFittedError
 from ..models.base import ClassifierModel
+from ..nn.dtype import compute_dtype, policy_float
 from ..rng import RngLike, ensure_rng, spawn
 from .classifier import (
     DefectCaseClassifier,
@@ -26,7 +27,7 @@ from .classifier import (
 from .footprint import Footprint, FootprintExtractor
 from .instrument import SoftmaxInstrumentedModel
 from .patterns import PatternLibrary
-from .specifics import FootprintSpecifics, compute_specifics
+from .specifics import FootprintSpecifics, compute_specifics_batch
 
 __all__ = ["DeepMorph", "find_faulty_cases"]
 
@@ -47,7 +48,7 @@ def _dataset_batches(dataset: Dataset, batch_size: int):
     for start in range(0, n, batch_size):
         pairs = [dataset[i] for i in range(start, min(start + batch_size, n))]
         yield (
-            np.stack([np.asarray(x, dtype=np.float64) for x, _ in pairs]),
+            np.stack([policy_float(x) for x, _ in pairs]),
             np.asarray([y for _, y in pairs], dtype=np.int64),
         )
 
@@ -72,11 +73,14 @@ def find_faulty_cases(
         predictions = model.predict(batch_inputs, batch_size=batch_size)
         mask = predictions != batch_labels
         if mask.any():
-            faulty_inputs.append(np.asarray(batch_inputs[mask], dtype=np.float64))
+            # Batches are already policy-dtyped floats (ArrayDataset stores
+            # float64, _dataset_batches coerces the rest); mask indexing
+            # copies just the faulty rows without a further cast.
+            faulty_inputs.append(batch_inputs[mask])
             faulty_labels.append(batch_labels[mask])
             faulty_predictions.append(predictions[mask])
     if not faulty_inputs:
-        empty = np.zeros((0,) + tuple(dataset.input_shape), dtype=np.float64)
+        empty = np.zeros((0,) + tuple(dataset.input_shape), dtype=compute_dtype())
         return empty, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
     return (
         np.concatenate(faulty_inputs, axis=0),
@@ -189,12 +193,12 @@ class DeepMorph:
         """Extract data-flow footprints for arbitrary inputs."""
         self._require_fitted()
         extractor = FootprintExtractor(self.instrumented)
-        return extractor.extract(np.asarray(inputs, dtype=np.float64), labels)
+        return extractor.extract(policy_float(inputs), labels)
 
     def compute_specifics(self, footprints: Sequence[Footprint]) -> List[FootprintSpecifics]:
-        """Compute footprint specifics for labeled footprints."""
+        """Compute footprint specifics for labeled footprints (batched core)."""
         self._require_fitted()
-        return [compute_specifics(fp, self.patterns) for fp in footprints]
+        return compute_specifics_batch(footprints, self.patterns)
 
     # -- pipeline step 4: defect reasoning ------------------------------------------
 
@@ -204,9 +208,14 @@ class DeepMorph:
         true_labels: Sequence[int],
         metadata: Optional[Dict] = None,
     ) -> DefectReport:
-        """Diagnose a set of faulty cases (inputs plus their true labels)."""
+        """Diagnose a set of faulty cases (inputs plus their true labels).
+
+        The whole batch flows through the batched diagnosis core: one stacked
+        footprint extraction, one broadcasted specifics computation, and one
+        matrix-product scoring pass in the case classifier.
+        """
         self._require_fitted()
-        faulty_inputs = np.asarray(faulty_inputs, dtype=np.float64)
+        faulty_inputs = policy_float(faulty_inputs)
         true_labels = np.asarray(true_labels)
         if faulty_inputs.shape[0] == 0:
             raise ConfigurationError(

@@ -17,6 +17,11 @@ import numpy as np
 
 from ..analysis.divergence import normalized_entropy
 from ..analysis.trajectory import (
+    _layer_weights,
+    batch_trajectory_divergence,
+    check_trajectory_stack,
+    cross_trajectory_divergences,
+    cross_trajectory_layer_divergences,
     pairwise_trajectory_divergences,
     trajectory_divergence,
     trajectory_divergence_to_stack,
@@ -27,7 +32,7 @@ from ..exceptions import NotFittedError, ShapeError
 from .footprint import Footprint, FootprintExtractor
 from .instrument import SoftmaxInstrumentedModel
 
-__all__ = ["ClassExecutionPattern", "PatternLibrary"]
+__all__ = ["ClassExecutionPattern", "PatternLibrary", "PatternMatches"]
 
 
 @dataclass(frozen=True)
@@ -135,6 +140,54 @@ class ClassExecutionPattern:
         return float(scale / (scale + nearest))
 
 
+@dataclass(frozen=True)
+class PatternMatches:
+    """Batched comparison of ``N`` trajectories against every class pattern.
+
+    Produced by :meth:`PatternLibrary.batch_pattern_matches` in one
+    broadcasted kernel; the columns are the library's classes in ascending
+    ``class_id`` order (the same order the per-case queries iterate in, so
+    argmax tie-breaking matches :meth:`PatternLibrary.best_match`).
+
+    Attributes
+    ----------
+    class_ids:
+        ``(K,)`` class ids backing the columns.
+    similarities:
+        ``(N, K)`` layer-weighted JS similarities to each class mean (the
+        batched form of :meth:`PatternLibrary.similarity`).
+    divergences:
+        ``(N, K)`` layer-weighted JS divergences to each class mean at the
+        atypicality emphasis (the batched form of
+        :meth:`ClassExecutionPattern.divergence_from`).
+    dispersions:
+        ``(K,)`` per-class dispersions (for atypicality denominators).
+    num_classes:
+        The model's class count — sizes :meth:`column_lookup`.
+    """
+
+    class_ids: np.ndarray
+    similarities: np.ndarray
+    divergences: np.ndarray
+    dispersions: np.ndarray
+    num_classes: int
+
+    def column_lookup(self) -> np.ndarray:
+        """``(num_classes,)`` map from class id to column index (``-1`` if absent)."""
+        lookup = np.full(self.num_classes, -1, dtype=np.int64)
+        lookup[self.class_ids] = np.arange(self.class_ids.shape[0], dtype=np.int64)
+        return lookup
+
+
+@dataclass(frozen=True)
+class _PatternIndex:
+    """Stacked per-class arrays backing the batched queries (built lazily)."""
+
+    class_ids: np.ndarray  # (K,) ascending
+    mean_stack: np.ndarray  # (K, L, C)
+    dispersions: np.ndarray  # (K,)
+
+
 class PatternLibrary:
     """Per-class execution patterns learned from the training data.
 
@@ -163,6 +216,7 @@ class PatternLibrary:
         self.global_mean_entropy: Optional[float] = None
         self.global_mean_dispersion: Optional[float] = None
         self._fitted = False
+        self._batch_cache: Optional[tuple] = None
 
     @property
     def is_fitted(self) -> bool:
@@ -183,19 +237,32 @@ class PatternLibrary:
         trajectories, final_probs = extractor.extract_arrays(inputs)
         predictions = final_probs.argmax(axis=1)
         self._training_inconsistency = self._compute_training_inconsistency(labels, predictions)
+        # Refitting replaces the library wholesale — classes absent from the
+        # new data must not survive from a previous fit.
+        self.patterns = {}
+
+        # One label -> member-indices grouping, computed once (stable argsort +
+        # unique boundaries) and shared by the member and correct-only
+        # selections — instead of re-scanning the label array per class.
+        labels = np.asarray(labels)
+        order = np.argsort(labels, kind="stable")
+        class_values, group_starts = np.unique(labels[order], return_index=True)
+        group_ends = np.append(group_starts[1:], order.size)
+        correct = predictions == labels
 
         entropies: List[float] = []
         dispersions: List[float] = []
-        for class_id in range(self.num_classes):
-            member_mask = labels == class_id
-            if not member_mask.any():
+        for class_value, start, end in zip(class_values, group_starts, group_ends):
+            class_id = int(class_value)
+            if not 0 <= class_id < self.num_classes:
                 continue
+            member_idx = order[start:end]
             if self.correct_only:
-                correct_mask = member_mask & (predictions == class_id)
-                if correct_mask.any():
-                    member_mask = correct_mask
-            member_traj = trajectories[member_mask]
-            member_final = final_probs[member_mask]
+                correct_idx = member_idx[correct[member_idx]]
+                if correct_idx.size:
+                    member_idx = correct_idx
+            member_traj = trajectories[member_idx]
+            member_final = final_probs[member_idx]
 
             mean_trajectory = member_traj.mean(axis=0)
             mean_confidence = member_traj[:, :, class_id].mean(axis=0)
@@ -221,8 +288,10 @@ class PatternLibrary:
                 dispersion=dispersion,
                 mean_final_confidence=float(member_final[:, class_id].mean()),
                 mean_entropy=mean_entropy,
-                support=int(member_mask.sum()),
-                member_trajectories=member_traj.copy(),
+                support=int(member_idx.size),
+                # Fancy indexing already copied the member rows out of the
+                # extraction arrays, so the stack can be stored as-is.
+                member_trajectories=member_traj,
                 member_nn_scale=member_nn_scale,
             )
             entropies.append(mean_entropy)
@@ -232,6 +301,7 @@ class PatternLibrary:
             raise ShapeError("pattern library fitting produced no patterns (empty classes only)")
         self.global_mean_entropy = float(np.mean(entropies))
         self.global_mean_dispersion = float(np.mean(dispersions))
+        self._batch_cache = None
         self._fitted = True
         return self
 
@@ -314,25 +384,133 @@ class PatternLibrary:
             return 0.0
         return self.patterns[class_id].nn_typicality_of(footprint, k=k)
 
+    # -- batched queries ----------------------------------------------------------
+
+    def _batch_index(self) -> _PatternIndex:
+        """Stacked per-class arrays, rebuilt lazily when the pattern set changes.
+
+        Lazy (rather than built in ``fit``) because deserialization and tests
+        assemble ``patterns`` directly.  The cache is keyed on the *identities*
+        of the pattern objects (not just the class ids), so replacing a class's
+        pattern in place — recalibration, hand-assembled libraries — rebuilds
+        the stacks instead of serving stale means and dispersions.
+        """
+        self._require_fitted()
+        ids = tuple(sorted(self.patterns))
+        if self._batch_cache is not None:
+            cached_ids, cached_patterns, index = self._batch_cache
+            if cached_ids == ids and all(
+                self.patterns[class_id] is pattern
+                for class_id, pattern in zip(cached_ids, cached_patterns)
+            ):
+                return index
+        index = _PatternIndex(
+            class_ids=np.asarray(ids, dtype=np.int64),
+            mean_stack=np.stack(
+                [np.asarray(self.patterns[i].mean_trajectory, dtype=np.float64) for i in ids]
+            ),
+            dispersions=np.asarray(
+                [self.patterns[i].dispersion for i in ids], dtype=np.float64
+            ),
+        )
+        self._batch_cache = (ids, tuple(self.patterns[i] for i in ids), index)
+        return index
+
+    def batch_pattern_matches(self, stack: np.ndarray) -> PatternMatches:
+        """Compare a whole ``(N, L, C)`` stack against every class pattern at once.
+
+        One broadcasted JS kernel yields the per-layer divergences of every
+        (case, class) pair; the similarity matrix applies the library's layer
+        emphasis and the divergence matrix applies the atypicality emphasis
+        used by :meth:`ClassExecutionPattern.divergence_from` — the batched
+        equivalents of N·K per-case queries.
+        """
+        index = self._batch_index()
+        stack = check_trajectory_stack(stack)
+        if stack.shape[1:] != index.mean_stack.shape[1:]:
+            raise ShapeError(
+                f"trajectories must have shape (N, {index.mean_stack.shape[1]}, "
+                f"{index.mean_stack.shape[2]}), got {stack.shape}"
+            )
+        layer_divs = cross_trajectory_layer_divergences(stack, index.mean_stack)
+        layer_sims = 1.0 - layer_divs / np.log(2.0)
+        num_layers = stack.shape[1]
+        return PatternMatches(
+            class_ids=index.class_ids,
+            similarities=np.average(
+                layer_sims, axis=2, weights=_layer_weights(num_layers, self.late_layer_emphasis)
+            ),
+            # ClassExecutionPattern.divergence_from (the per-case atypicality
+            # path) uses its own default emphasis of 0.5, independent of the
+            # library's similarity emphasis — mirrored here for parity.
+            divergences=np.average(
+                layer_divs, axis=2, weights=_layer_weights(num_layers, 0.5)
+            ),
+            dispersions=index.dispersions,
+            num_classes=self.num_classes,
+        )
+
+    def batch_nn_typicality(
+        self, stack: np.ndarray, class_ids: np.ndarray, k: int = 3, scale_floor: float = 0.01
+    ) -> np.ndarray:
+        """Nearest-member typicality of every stack member w.r.t. its own target class.
+
+        The batched form of :meth:`nn_typicality`: cases are grouped by target
+        class and each group is compared against that class's member stack in
+        one cross-divergence kernel (classes without a pattern score 0, empty
+        member sets fall back to the mean-trajectory divergence — exactly the
+        per-case semantics).
+        """
+        self._require_fitted()
+        stack = check_trajectory_stack(stack)
+        class_ids = np.asarray(class_ids, dtype=np.int64)
+        if class_ids.shape != (stack.shape[0],):
+            raise ShapeError(
+                f"class_ids must be 1-D with one entry per case, got shape "
+                f"{class_ids.shape} for {stack.shape[0]} cases"
+            )
+        out = np.zeros(stack.shape[0], dtype=np.float64)
+        for class_value in np.unique(class_ids):
+            class_id = int(class_value)
+            pattern = self.patterns.get(class_id)
+            if pattern is None:
+                continue  # unknown class: typicality stays 0
+            rows = np.nonzero(class_ids == class_value)[0]
+            members = pattern.member_trajectories
+            # nearest_member_divergence defaults to late_layer_emphasis=1.0
+            # (early-layer beliefs are pixel-noise dominated).
+            if members is None or members.shape[0] == 0:
+                nearest = batch_trajectory_divergence(
+                    stack[rows], pattern.mean_trajectory, late_layer_emphasis=1.0
+                )
+            else:
+                divergences = cross_trajectory_divergences(
+                    stack[rows], members, late_layer_emphasis=1.0
+                )
+                kk = max(1, min(int(k), divergences.shape[1]))
+                nearest = np.sort(divergences, axis=1)[:, :kk].mean(axis=1)
+            scale = max(float(pattern.member_nn_scale), scale_floor)
+            out[rows] = scale / (scale + nearest)
+        return out
+
     def pattern_overlap(self) -> float:
         """Mean pairwise similarity between different classes' mean trajectories.
 
         Well-separated classes (a sound backbone) score low; a backbone whose
-        hidden layers cannot tell the classes apart scores high.
+        hidden layers cannot tell the classes apart scores high.  Computed
+        loop-free as one cross kernel over the stacked class means.
         """
         self._require_fitted()
-        class_ids = sorted(self.patterns)
-        if len(class_ids) < 2:
+        index = self._batch_index()
+        k = index.class_ids.shape[0]
+        if k < 2:
             return 0.0
-        similarities = []
-        for i, a in enumerate(class_ids):
-            for b in class_ids[i + 1:]:
-                similarities.append(trajectory_similarity(
-                    self.patterns[a].mean_trajectory,
-                    self.patterns[b].mean_trajectory,
-                    late_layer_emphasis=self.late_layer_emphasis,
-                ))
-        return float(np.mean(similarities))
+        divergences = cross_trajectory_divergences(
+            index.mean_stack, index.mean_stack, late_layer_emphasis=self.late_layer_emphasis
+        )
+        similarities = 1.0 - divergences / np.log(2.0)
+        upper = np.triu_indices(k, 1)
+        return float(np.mean(similarities[upper]))
 
     def best_match(self, footprint: Footprint) -> tuple[int, float]:
         """The class whose pattern the footprint matches best, and that similarity."""

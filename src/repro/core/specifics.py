@@ -6,21 +6,43 @@ against the class execution patterns.  They are the features the defect
 classifier scores: how well the case follows the predicted class's pattern,
 how atypical it is for its true class, how sharp or diffuse the layer-wise
 beliefs are, and how early the execution commits or diverges.
+
+Two implementations coexist deliberately:
+
+* :func:`compute_specifics` — the per-case path, one footprint at a time.
+  Retained as the parity reference the batched kernels are pinned against.
+* :func:`compute_specifics_batch` / :func:`compute_specifics_stack` — the
+  batched core: all N case trajectories stacked into one ``(N, L, C)`` array,
+  every pattern comparison done by broadcasted JS kernels, every per-layer
+  statistic computed array-wide.  This is the hot path of ``DeepMorph`` and
+  the serving layer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Sequence
 
 import numpy as np
 
-from ..analysis.trajectory import layer_stability
-from ..exceptions import ConfigurationError
+from ..analysis.trajectory import (
+    batch_commitment_depth,
+    batch_divergence_layer,
+    batch_entropy_profile,
+    batch_layer_stability,
+    check_trajectory_stack,
+    layer_stability,
+)
+from ..exceptions import ConfigurationError, ShapeError
 from .footprint import Footprint
 from .patterns import PatternLibrary
 
-__all__ = ["FootprintSpecifics", "compute_specifics"]
+__all__ = [
+    "FootprintSpecifics",
+    "compute_specifics",
+    "compute_specifics_batch",
+    "compute_specifics_stack",
+]
 
 
 @dataclass(frozen=True)
@@ -168,4 +190,147 @@ def compute_specifics(footprint: Footprint, library: PatternLibrary) -> Footprin
         feature_quality=float(library.feature_quality()),
         nn_typicality_predicted=float(library.nn_typicality(footprint, predicted)),
         nn_typicality_true=float(library.nn_typicality(footprint, true_label)),
+    )
+
+
+def _gather_columns(
+    matrix: np.ndarray, columns: np.ndarray, default: float
+) -> np.ndarray:
+    """Per-row gather of ``matrix[i, columns[i]]`` with ``default`` for ``-1`` columns."""
+    safe = np.clip(columns, 0, matrix.shape[1] - 1)
+    values = matrix[np.arange(matrix.shape[0]), safe]
+    return np.where(columns >= 0, values, default)
+
+
+def compute_specifics_stack(
+    trajectories: np.ndarray,
+    final_confidences: np.ndarray,
+    predicted: np.ndarray,
+    true_labels: np.ndarray,
+    library: PatternLibrary,
+) -> List[FootprintSpecifics]:
+    """Derive the footprint specifics of ``N`` faulty cases in one batched pass.
+
+    The array-native core of :func:`compute_specifics_batch`: every pattern
+    comparison runs through the library's broadcasted JS kernels and every
+    per-layer statistic is computed array-wide, so the per-case Python work is
+    reduced to assembling the result dataclasses.  Matches the per-case
+    :func:`compute_specifics` to floating-point reassociation error (pinned at
+    ``1e-12`` by the parity suite).
+
+    Parameters
+    ----------
+    trajectories:
+        ``(N, L, C)`` stacked case trajectories.
+    final_confidences:
+        ``(N,)`` model confidence in each case's own prediction.
+    predicted, true_labels:
+        ``(N,)`` predicted and ground-truth classes.
+    library:
+        The fitted pattern library to judge the cases against.
+    """
+    stack = check_trajectory_stack(trajectories)
+    n, num_layers, _ = stack.shape
+    predicted = np.asarray(predicted, dtype=np.int64)
+    true_labels = np.asarray(true_labels, dtype=np.int64)
+    final_confidences = np.asarray(final_confidences, dtype=np.float64)
+    for name, arr in (
+        ("final_confidences", final_confidences),
+        ("predicted", predicted),
+        ("true_labels", true_labels),
+    ):
+        if arr.shape != (n,):
+            raise ShapeError(
+                f"{name} must be 1-D with one entry per case, got shape {arr.shape} "
+                f"for {n} cases"
+            )
+    if n == 0:
+        return []
+
+    # Array-wide per-case statistics (validate the label/prediction ranges).
+    divergence = batch_divergence_layer(stack, true_labels)
+    commitment = batch_commitment_depth(stack, predicted)
+    entropies = batch_entropy_profile(stack)
+    stability = batch_layer_stability(stack)
+
+    # One broadcasted comparison of all cases against all class patterns.
+    matches = library.batch_pattern_matches(stack)
+    lookup = matches.column_lookup()
+    predicted_cols = lookup[predicted]
+    true_cols = lookup[true_labels]
+    match_predicted = _gather_columns(matches.similarities, predicted_cols, 0.0)
+    match_true = _gather_columns(matches.similarities, true_cols, 0.0)
+    best_cols = matches.similarities.argmax(axis=1)
+    best_sims = matches.similarities[np.arange(n), best_cols]
+    best_classes = matches.class_ids[best_cols]
+
+    # Atypicality w.r.t. the true class's own spread; classes that never
+    # appeared in training are maximally atypical (per-case semantics).
+    true_divergences = _gather_columns(matches.divergences, true_cols, 0.0)
+    true_dispersions = matches.dispersions[np.clip(true_cols, 0, None)]
+    atypicality = np.where(
+        true_cols >= 0,
+        true_divergences / (true_divergences + true_dispersions + 1e-6),
+        1.0,
+    )
+
+    mean_entropy = entropies.mean(axis=1)
+    half = max(1, num_layers // 2)
+    early_entropy = entropies[:, :half].mean(axis=1)
+    late_entropy = entropies[:, half:].mean(axis=1) if num_layers > half else mean_entropy
+    divergence_point = divergence / num_layers
+
+    feature_quality = float(library.feature_quality())
+    nn_predicted = library.batch_nn_typicality(stack, predicted)
+    nn_true = library.batch_nn_typicality(stack, true_labels)
+
+    return [
+        FootprintSpecifics(
+            predicted=int(predicted[i]),
+            true_label=int(true_labels[i]),
+            final_confidence=float(final_confidences[i]),
+            commitment=float(commitment[i]),
+            match_predicted=float(match_predicted[i]),
+            match_true=float(match_true[i]),
+            best_match=float(best_sims[i]),
+            best_match_class=int(best_classes[i]),
+            atypicality_true=float(atypicality[i]),
+            mean_entropy=float(mean_entropy[i]),
+            early_entropy=float(early_entropy[i]),
+            late_entropy=float(late_entropy[i]),
+            divergence_point=float(divergence_point[i]),
+            stability=float(stability[i]),
+            feature_quality=feature_quality,
+            nn_typicality_predicted=float(nn_predicted[i]),
+            nn_typicality_true=float(nn_true[i]),
+        )
+        for i in range(n)
+    ]
+
+
+def compute_specifics_batch(
+    footprints: Sequence[Footprint], library: PatternLibrary
+) -> List[FootprintSpecifics]:
+    """Batched :func:`compute_specifics` over a whole list of labeled footprints.
+
+    Stacks the trajectories into one ``(N, L, C)`` array and hands them to
+    :func:`compute_specifics_stack`; this is what ``DeepMorph.diagnose`` and
+    the serving layer call on their faulty-case batches.
+    """
+    footprints = list(footprints)
+    if not footprints:
+        return []
+    if any(fp.true_label is None for fp in footprints):
+        raise ConfigurationError(
+            "footprint specifics require the true label of every faulty case"
+        )
+    stack = np.stack([np.asarray(fp.trajectory, dtype=np.float64) for fp in footprints])
+    return compute_specifics_stack(
+        stack,
+        final_confidences=np.asarray(
+            [float(fp.final_probs[int(fp.predicted)]) for fp in footprints]
+        ),
+        predicted=np.asarray([int(fp.predicted) for fp in footprints]),
+        true_labels=np.asarray([int(fp.true_label) for fp in footprints]),
+        library=library,
     )

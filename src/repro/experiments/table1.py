@@ -10,8 +10,10 @@ stand-ins and scaled model variants documented in DESIGN.md) and
 
 from __future__ import annotations
 
+import multiprocessing
+import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -107,12 +109,63 @@ class Table1Result:
         }
 
 
+#: One planned Table-1 cell: (model name, retargeted settings, defect).
+_CellSpec = Tuple[str, ExperimentSettings, DefectType]
+
+
+def _run_cell_job(
+    payload: Tuple[ExperimentSettings, DefectType, Optional[DefectClassifierConfig]]
+) -> CellResult:
+    """Worker-process entry point for one Table-1 cell.
+
+    Module-level so the multiprocessing pool can pickle it under every start
+    method.  Each cell is fully self-seeded — ``run_cell`` derives every
+    stochastic component's seed from the cell's own ``settings.seed`` via
+    ``derive_seed`` — so the result is bitwise independent of which process
+    (or how many siblings) computed it.
+    """
+    settings, defect, classifier_config = payload
+    return run_cell(defect, settings, classifier_config=classifier_config)
+
+
+def _iter_cells(
+    specs: Sequence[_CellSpec],
+    classifier_config: Optional[DefectClassifierConfig],
+    jobs: int,
+) -> Iterator[CellResult]:
+    """Yield cell results in grid order, serially or via a process pool."""
+    if jobs == 1 or len(specs) <= 1:
+        for _, model_settings, defect in specs:
+            yield run_cell(defect, model_settings, classifier_config=classifier_config)
+        return
+    payloads = [
+        (model_settings, defect, classifier_config)
+        for _, model_settings, defect in specs
+    ]
+    # Fork shares the parent's imported package with zero per-worker startup
+    # cost (and works regardless of how __main__ was launched), but is only
+    # used on Linux: macOS's Accelerate/Objective-C runtime is not fork-safe
+    # (the reason CPython switched its darwin default to spawn), so everywhere
+    # else the workers spawn and re-import — the worker entry point is
+    # module-level precisely so both methods can pickle it.
+    use_fork = (
+        sys.platform.startswith("linux")
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    context = multiprocessing.get_context("fork" if use_fork else "spawn")
+    with context.Pool(processes=min(jobs, len(payloads))) as pool:
+        # imap preserves grid order, so rows, cells, and progress lines are
+        # identical to a serial run no matter which worker finishes first.
+        yield from pool.imap(_run_cell_job, payloads)
+
+
 def run_table1(
     models: Optional[Sequence[str]] = None,
     defects: Optional[Sequence["DefectType | str"]] = None,
     settings: Optional[ExperimentSettings] = None,
     classifier_config: Optional[DefectClassifierConfig] = None,
     progress: Optional[callable] = None,
+    jobs: int = 1,
 ) -> Table1Result:
     """Run the Table I experiment grid.
 
@@ -128,7 +181,18 @@ def run_table1(
         synthetic CIFAR), matching the paper's pairing.
     progress:
         Optional callable invoked with a status line after each cell.
+    jobs:
+        Number of worker processes the independent cells are dispatched to.
+        ``1`` (the default) runs the grid serially in-process.  Every cell
+        derives its seeds from its own settings, so any ``jobs`` value
+        produces bitwise-identical ratios in identical row order.
     """
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ExperimentError(
+            f"jobs must be >= 1 (number of worker processes for the experiment "
+            f"grid), got {jobs}"
+        )
     models = list(models) if models is not None else list(MODEL_DATASETS)
     unknown = [m for m in models if m not in MODEL_DATASETS]
     if unknown:
@@ -139,37 +203,41 @@ def run_table1(
     ]
     settings = settings or ExperimentSettings()
 
+    specs: List[_CellSpec] = [
+        (model, settings.for_model(model), defect)
+        for model in models
+        for defect in defect_list
+    ]
     result = Table1Result()
-    for model in models:
-        model_settings = settings.for_model(model)
-        for defect in defect_list:
-            cell = run_cell(defect, model_settings, classifier_config=classifier_config)
-            if cell.report is None:
-                raise ExperimentError(
-                    f"cell ({model}, {defect.value}) produced no faulty cases to diagnose; "
-                    "increase the injection strength or the production set size"
-                )
-            row = Table1Row(
-                model=model,
-                dataset=model_settings.dataset,
-                injected_defect=defect,
-                ratios=dict(cell.report.ratios),
-                dominant_defect=cell.report.dominant_defect,
-                test_accuracy=cell.test_accuracy,
-                num_faulty_cases=cell.num_faulty_cases,
+    for (model, model_settings, defect), cell in zip(
+        specs, _iter_cells(specs, classifier_config, jobs)
+    ):
+        if cell.report is None:
+            raise ExperimentError(
+                f"cell ({model}, {defect.value}) produced no faulty cases to diagnose; "
+                "increase the injection strength or the production set size"
             )
-            result.rows.append(row)
-            result.cells.append(cell)
-            if progress is not None:
-                flag = "ok" if row.diagonal_correct else "MISS"
-                progress(
-                    f"[{flag}] {model:9s} {defect.value.upper():3s} -> "
-                    + "  ".join(
-                        f"{d.value.upper()}={row.ratios[d]:.3f}"
-                        for d in (DefectType.ITD, DefectType.UTD, DefectType.SD)
-                    )
-                    + f"  (acc={row.test_accuracy:.3f}, faulty={row.num_faulty_cases})"
+        row = Table1Row(
+            model=model,
+            dataset=model_settings.dataset,
+            injected_defect=defect,
+            ratios=dict(cell.report.ratios),
+            dominant_defect=cell.report.dominant_defect,
+            test_accuracy=cell.test_accuracy,
+            num_faulty_cases=cell.num_faulty_cases,
+        )
+        result.rows.append(row)
+        result.cells.append(cell)
+        if progress is not None:
+            flag = "ok" if row.diagonal_correct else "MISS"
+            progress(
+                f"[{flag}] {model:9s} {defect.value.upper():3s} -> "
+                + "  ".join(
+                    f"{d.value.upper()}={row.ratios[d]:.3f}"
+                    for d in (DefectType.ITD, DefectType.UTD, DefectType.SD)
                 )
+                + f"  (acc={row.test_accuracy:.3f}, faulty={row.num_faulty_cases})"
+            )
     return result
 
 

@@ -50,6 +50,7 @@ __all__ = [
     "autocast",
     "as_compute",
     "match_dtype",
+    "policy_float",
 ]
 
 DTypeLike = Union[str, type, np.dtype, None]
@@ -111,6 +112,20 @@ def as_compute(x) -> np.ndarray:
     if arr.dtype == target:
         return arr
     return arr.astype(target)
+
+
+def policy_float(x) -> np.ndarray:
+    """Coerce an array-like to a supported floating dtype without forcing a cast.
+
+    Arrays already in float32 or float64 pass through untouched — a float32
+    serving pipeline must not pay a float64 round-trip at every boundary that
+    merely needs "some float" input; everything else (ints, lists, ...) is
+    converted to the calling thread's active :func:`compute_dtype`.
+    """
+    arr = np.asarray(x)
+    if arr.dtype in SUPPORTED_DTYPES:
+        return arr
+    return arr.astype(compute_dtype())
 
 
 def match_dtype(param: np.ndarray, like: np.ndarray) -> np.ndarray:

@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import ServeError
+from ..nn.dtype import policy_float
 from .cache import FootprintCache
 
 __all__ = ["ExtractionRequest", "BatchingEngine"]
@@ -156,7 +157,7 @@ class BatchingEngine:
         if self._stop.is_set():
             raise ServeError("batching engine is stopped")
         request = ExtractionRequest(
-            model_key=str(model_key), inputs=np.asarray(inputs, dtype=np.float64)
+            model_key=str(model_key), inputs=policy_float(inputs)
         )
         if self.is_running:
             self._queue.put(request)
@@ -229,9 +230,13 @@ class BatchingEngine:
                         request.future.set_exception(error)
 
     def _process_model_group(self, model_key: str, group: List[ExtractionRequest]) -> None:
-        # Per-case cache consultation: only rows never seen before reach the
-        # model.  Duplicate rows *within* the coalesced batch (the same faulty
-        # case submitted concurrently) are extracted once, via their digest.
+        if self.cache is None:
+            self._process_model_group_direct(model_key, group)
+            return
+        # Cached path from here on.  Per-case cache consultation: only rows
+        # never seen before reach the model.  Duplicate rows *within* the
+        # coalesced batch (the same faulty case submitted concurrently) are
+        # extracted once, via their digest.
         # `slots[r][i]` is row i of request r; a missing slot holds the index
         # into `missing_rows` it will be filled from.
         slots: List[List[Optional[Tuple[np.ndarray, np.ndarray]]]] = []
@@ -240,24 +245,19 @@ class BatchingEngine:
         missing_at: List[Tuple[int, int, int]] = []
         digest_to_slot: Dict[str, int] = {}
         for r, request in enumerate(group):
-            if self.cache is not None:
-                entries, digests = self.cache.lookup(model_key, request.inputs)
-            else:
-                entries = [None] * request.num_cases
-                digests = [""] * request.num_cases
+            entries, digests = self.cache.lookup(model_key, request.inputs)
             slots.append(entries)
             digests_per_request.append(digests)
             for i, entry in enumerate(entries):
                 if entry is not None:
                     continue
                 digest = digests[i]
-                if self.cache is not None and digest in digest_to_slot:
+                if digest in digest_to_slot:
                     row_index = digest_to_slot[digest]
                 else:
                     row_index = len(missing_rows)
                     missing_rows.append(request.inputs[i])
-                    if self.cache is not None:
-                        digest_to_slot[digest] = row_index
+                    digest_to_slot[digest] = row_index
                 missing_at.append((r, i, row_index))
 
         # Dup slots resolved from a co-travelling row count as "from cache":
@@ -270,7 +270,7 @@ class BatchingEngine:
             for r, i, row_index in missing_at:
                 pair = (trajectories[row_index], final_probs[row_index])
                 slots[r][i] = pair
-                if self.cache is not None and row_index not in stored:
+                if row_index not in stored:
                     stored.add(row_index)
                     self.cache.store(model_key, digests_per_request[r][i], *pair)
         with self._stats_lock:
@@ -288,6 +288,33 @@ class BatchingEngine:
             trajectories = np.stack([entry[0] for entry in entries], axis=0)
             final_probs = np.stack([entry[1] for entry in entries], axis=0)
             request.future.set_result((trajectories, final_probs))
+
+    def _process_model_group_direct(
+        self, model_key: str, group: List[ExtractionRequest]
+    ) -> None:
+        """Cache-free fast path: the whole coalesced group goes to the batched core.
+
+        Without a cache there is nothing to consult per row, so the per-slot
+        bookkeeping of the cached path is pure overhead; the requests' input
+        groups are handed directly to one coalesced extraction call and the
+        per-group results map straight back onto the waiting futures.
+        """
+        pending = []
+        for request in group:
+            if request.num_cases == 0:
+                if not request.future.done():
+                    request.future.set_result((np.zeros((0, 0, 0)), np.zeros((0, 0))))
+            else:
+                pending.append(request)
+        if pending:
+            results = self.extract_fn(model_key, [request.inputs for request in pending])
+            for request, pair in zip(pending, results):
+                if not request.future.done():
+                    request.future.set_result(pair)
+        with self._stats_lock:
+            self._stats["cases_extracted"] += sum(r.num_cases for r in pending)
+            if pending:
+                self._stats["extraction_calls"] += 1
 
     # -- introspection ------------------------------------------------------------
 

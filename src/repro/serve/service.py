@@ -36,7 +36,7 @@ import numpy as np
 from ..core.classifier import DefectReport
 from ..core.diagnosis import DeepMorph
 from ..core.footprint import FootprintExtractor
-from ..core.specifics import compute_specifics
+from ..core.specifics import compute_specifics_batch
 from ..exceptions import ConfigurationError, ServeError
 from ..nn.dtype import resolve_dtype
 from .batching import BatchingEngine
@@ -256,7 +256,9 @@ class DiagnosisService:
             raise ConfigurationError(
                 "none of the supplied cases is misclassified by the model; nothing to diagnose"
             )
-        specifics = [compute_specifics(fp, entry.morph.patterns) for fp in faulty]
+        # Batched diagnosis core: one stacked specifics computation for the
+        # whole coalesced batch instead of a per-case Python loop.
+        specifics = compute_specifics_batch(faulty, entry.morph.patterns)
         context = entry.morph.case_classifier.build_context(
             specifics,
             num_classes=entry.num_classes,

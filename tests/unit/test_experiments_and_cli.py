@@ -125,6 +125,32 @@ class TestTable1Structures:
         with pytest.raises(ExperimentError):
             run_table1(models=["vgg"], settings=SMOKE)
 
+    def test_run_table1_rejects_invalid_jobs(self):
+        from repro.experiments import run_table1
+
+        for jobs in (0, -3):
+            with pytest.raises(ExperimentError, match="jobs must be >= 1"):
+                run_table1(models=["lenet"], defects=["itd"], settings=SMOKE, jobs=jobs)
+
+    def test_run_table1_parallel_matches_serial_bitwise(self):
+        """Per-cell seed derivation makes the pool a pure throughput knob."""
+        from repro.experiments import run_table1
+
+        serial = run_table1(
+            models=["lenet"], defects=["itd", "utd"], settings=SMOKE, jobs=1
+        )
+        parallel = run_table1(
+            models=["lenet"], defects=["itd", "utd"], settings=SMOKE, jobs=2
+        )
+        assert len(serial.rows) == len(parallel.rows) == 2
+        for serial_row, parallel_row in zip(serial.rows, parallel.rows):
+            assert serial_row.model == parallel_row.model
+            assert serial_row.injected_defect == parallel_row.injected_defect
+            for defect, ratio in serial_row.ratios.items():
+                assert parallel_row.ratios[defect] == ratio  # bitwise
+            assert serial_row.test_accuracy == parallel_row.test_accuracy
+            assert serial_row.num_faulty_cases == parallel_row.num_faulty_cases
+
 
 class TestCalibrationFit:
     def test_fit_weights_separates_synthetic_clusters(self):
@@ -190,3 +216,25 @@ class TestCli:
         payload = json.loads(json_path.read_text())
         assert len(payload["rows"]) == 1
         assert "diagonal dominance" in capsys.readouterr().out
+
+    def test_table1_cli_jobs_flag(self, tmp_path, capsys):
+        args = cli_table1.build_parser().parse_args(["--jobs", "2"])
+        assert args.jobs == 2
+        assert cli_table1.build_parser().parse_args([]).jobs == 1
+
+        json_path = tmp_path / "table1_jobs.json"
+        exit_code = cli_table1.main([
+            "--preset", "smoke", "--models", "lenet", "--defects", "itd", "utd",
+            "--jobs", "2", "--json", str(json_path),
+        ])
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        assert len(payload["rows"]) == 2
+        capsys.readouterr()
+
+    def test_table1_cli_rejects_invalid_jobs(self):
+        with pytest.raises(ExperimentError, match="jobs must be >= 1"):
+            cli_table1.main([
+                "--preset", "smoke", "--models", "lenet", "--defects", "utd",
+                "--jobs", "0",
+            ])
