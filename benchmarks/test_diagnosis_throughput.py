@@ -22,7 +22,6 @@ import json
 import os
 import time
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -15,6 +15,8 @@ end to end.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 import numpy as np
@@ -30,6 +32,7 @@ NUM_CASES = 160
 REPEATS = 5
 SMOKE_MIN_SPEEDUP = 1.4  # CI floor; locally this measures ~2.2x
 PARITY_BOUND = 1e-5
+RESULT_PATH = os.environ.get("BENCH_EXTRACTION_JSON", "BENCH_extraction.json")
 
 
 def _maxpool2d_forward_pre_pr(x, kernel, stride, pad=0, return_argmax=True):
@@ -117,6 +120,15 @@ def test_fast_path_beats_loop_based_reference(fitted_scenario):
         f"fast path:        {fast_seconds * 1e3:7.1f} ms  "
         f"({inputs.shape[0] / fast_seconds:8.1f} cases/s)  speedup x{speedup:.2f}"
     )
+
+    payload = {
+        "num_cases": int(inputs.shape[0]),
+        "cases_per_sec_fast": inputs.shape[0] / fast_seconds,
+        "cases_per_sec_reference": inputs.shape[0] / ref_seconds,
+        "fast_vs_loop_speedup": speedup,
+    }
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
 
     # Same trajectories (to float32 resolution), radically different cost.
     assert np.max(np.abs(fast_traj - ref_traj)) < PARITY_BOUND

@@ -6,7 +6,6 @@ each stage of that pipeline plus the end-to-end diagnosis on a LeNet / UTD
 scenario, so the cost profile of the figure's boxes is measurable.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -10,6 +10,8 @@ underlying matrix products.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 import numpy as np
@@ -23,6 +25,18 @@ from repro.serve import BatchingEngine, FootprintCache
 from repro.training import Trainer
 
 NUM_CASES = 48
+RESULT_PATH = os.environ.get("BENCH_SERVE_JSON", "BENCH_serve.json")
+
+
+def _record(**metrics) -> None:
+    """Merge metrics into the shared BENCH_serve.json perf record."""
+    existing = {}
+    if os.path.exists(RESULT_PATH):
+        with open(RESULT_PATH, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+    existing.update(metrics)
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
 
 
 @pytest.fixture(scope="module")
@@ -79,6 +93,12 @@ def test_batched_extraction_beats_per_case_loop(fitted_scenario):
         f"batched:       {batched_seconds * 1e3:8.1f} ms  "
         f"({inputs.shape[0] / batched_seconds:7.1f} cases/s)  speedup x{speedup:.1f}"
     )
+    _record(
+        num_cases=int(inputs.shape[0]),
+        cases_per_sec_batched=inputs.shape[0] / batched_seconds,
+        cases_per_sec_per_case=inputs.shape[0] / per_case_seconds,
+        batched_vs_loop_speedup=speedup,
+    )
     assert batched_seconds < per_case_seconds, (
         f"batched extraction ({batched_seconds:.4f}s) should beat the per-case "
         f"loop ({per_case_seconds:.4f}s) on {inputs.shape[0]} cases"
@@ -107,5 +127,10 @@ def test_cache_makes_repeated_cases_cheap(fitted_scenario):
     assert stats["cases_from_cache"] == inputs.shape[0]
     print(
         f"\ncold: {cold_seconds * 1e3:7.1f} ms   warm (cached): {warm_seconds * 1e3:7.1f} ms"
+    )
+    _record(
+        cold_ms=cold_seconds * 1e3,
+        warm_ms=warm_seconds * 1e3,
+        cache_warm_vs_cold_speedup=cold_seconds / max(warm_seconds, 1e-9),
     )
     assert warm_seconds < cold_seconds, "a fully cached batch must beat extraction"

@@ -11,7 +11,6 @@ training set.
     python examples/diagnose_insufficient_data.py
 """
 
-import numpy as np
 
 from repro import DeepMorph, find_faulty_cases
 from repro.data import SyntheticMNIST, class_counts

@@ -11,7 +11,6 @@ the intact architecture.
     python examples/diagnose_structure_defect.py
 """
 
-import numpy as np
 
 from repro import DeepMorph, find_faulty_cases
 from repro.data import SyntheticCIFAR

@@ -13,7 +13,6 @@ Run time: well under a minute on a laptop CPU.
     python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro import DeepMorph, find_faulty_cases
 from repro.data import SyntheticMNIST

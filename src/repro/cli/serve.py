@@ -5,7 +5,10 @@ API), register the fitted instance in an artifact registry directory, then::
 
     repro-serve --registry ./registry --port 8421
 
-and POST production batches to ``/diagnose``.  ``--list`` prints the
+and POST production batches to ``/diagnose``.  ``--async`` serves through
+the scale-out asyncio gateway instead (``--replicas`` service shards,
+``--max-inflight`` admission control, ``GET /metrics``); the default
+threading server remains the compatibility path.  ``--list`` prints the
 registry's contents without starting a server, and ``--bootstrap-demo`` fits
 and registers a small demo model first so the quickstart works from an empty
 directory.
@@ -16,7 +19,13 @@ from __future__ import annotations
 import argparse
 from typing import Optional, Sequence
 
-from ..serve import ArtifactRegistry, DiagnosisService, serve_forever
+from ..serve import (
+    ArtifactRegistry,
+    DiagnosisService,
+    ReplicaPool,
+    serve_forever,
+    serve_gateway_forever,
+)
 from .common import add_settings_arguments, run_main, settings_from_args
 
 __all__ = ["main"]
@@ -45,6 +54,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-size", type=int, default=4096,
         help="footprint cache capacity in cases (0 disables caching)",
+    )
+    parser.add_argument(
+        "--async", action="store_true", dest="async_gateway",
+        help="serve through the asyncio gateway (replica shards + admission control) "
+             "instead of the thread-per-connection server",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=2,
+        help="service replicas behind the async gateway (each with its own "
+             "engine thread and cache; implies --async semantics only with --async)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="pool-wide in-flight request cap before the gateway sheds with 503 "
+             "(default: replicas * max-queue-per-replica)",
+    )
+    parser.add_argument(
+        "--max-queue-per-replica", type=int, default=8,
+        help="in-flight requests one replica accepts before admission skips it",
     )
     parser.add_argument(
         "--inference-dtype", choices=("float32", "float64"), default=None,
@@ -99,14 +127,29 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
                   f"classes={record.num_classes}  {record.path}")
         return 0
 
-    service = DiagnosisService(
-        registry,
+    service_kwargs = dict(
         max_batch_cases=args.max_batch_cases,
         batch_wait_seconds=args.batch_wait,
         cache_size=args.cache_size,
         num_workers=args.workers,
         inference_dtype=args.inference_dtype,
     )
+
+    if args.async_gateway:
+        pool = ReplicaPool.from_registry(
+            registry,
+            num_replicas=args.replicas,
+            max_queue_per_replica=args.max_queue_per_replica,
+            max_inflight=args.max_inflight,
+            **service_kwargs,
+        )
+        try:
+            serve_gateway_forever(pool, host=args.host, port=args.port, verbose=args.verbose)
+        finally:
+            pool.close()
+        return 0
+
+    service = DiagnosisService(registry, **service_kwargs)
     try:
         serve_forever(service, host=args.host, port=args.port, verbose=args.verbose)
     finally:

@@ -22,7 +22,6 @@ from .classifier import (
     DefectCaseClassifier,
     DefectClassifierConfig,
     DefectReport,
-    DiagnosisContext,
 )
 from .footprint import Footprint, FootprintExtractor
 from .instrument import SoftmaxInstrumentedModel

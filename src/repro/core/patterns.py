@@ -11,7 +11,7 @@ Faulty-case footprints are later judged against these patterns.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 

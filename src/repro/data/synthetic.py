@@ -26,8 +26,8 @@ default) mirror the two corpora used in the paper; both have 10 classes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 import numpy as np
 

@@ -8,7 +8,7 @@ dataset generation, and distribution-shift simulation in the ITD experiments
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ executing the wrong class's pattern".
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

@@ -55,3 +55,19 @@ class ServeError(ReproError, RuntimeError):
 
 class ArtifactNotFoundError(ServeError, KeyError):
     """A model name/version is not present in the artifact registry."""
+
+
+class PayloadTooLargeError(ServeError):
+    """A request body exceeds the serving layer's configured size limit."""
+
+
+class ServiceSaturatedError(ServeError):
+    """Admission control rejected a request because every replica queue is full.
+
+    Carries ``retry_after`` (seconds), which HTTP front ends surface as a
+    ``Retry-After`` header on the 503 response.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)

@@ -9,8 +9,8 @@ budget, and the defect-injection parameters.  Presets (`paper`, `default`,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict
 
 from ..exceptions import ConfigurationError
 

@@ -11,9 +11,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-import numpy as np
 
 from ..core import DeepMorph, DefectClassifierConfig, DefectReport, find_faulty_cases
 from ..data.dataset import ArrayDataset

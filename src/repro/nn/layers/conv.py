@@ -10,7 +10,7 @@ from ...exceptions import ConfigurationError
 from ...rng import RngLike, ensure_rng
 from .. import functional as F
 from ..dtype import as_compute
-from ..initializers import Initializer, get_initializer
+from ..initializers import get_initializer
 from ..module import Layer, Parameter
 
 __all__ = ["Conv2D"]

@@ -9,7 +9,7 @@ import numpy as np
 from ...exceptions import ConfigurationError, ShapeError
 from ...rng import RngLike, ensure_rng
 from ..dtype import as_compute, match_dtype
-from ..initializers import Initializer, Zeros, get_initializer
+from ..initializers import Zeros, get_initializer
 from ..module import Layer, Parameter
 
 __all__ = ["Dense"]

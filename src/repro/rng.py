@@ -9,7 +9,7 @@ diagnosis.  All stochastic components in the library therefore accept either a
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -1,4 +1,4 @@
-"""repro.serve — a batched, cached diagnosis service layer over DeepMorph.
+"""repro.serve — a batched, cached, scale-out diagnosis service over DeepMorph.
 
 The paper's pipeline runs one-shot: ``fit`` then ``diagnose``.  This package
 turns it into a long-lived service for production traffic:
@@ -11,10 +11,16 @@ turns it into a long-lived service for production traffic:
   single vectorized instrumented passes.
 * :mod:`~repro.serve.jobs` — worker pool and job store for asynchronous
   diagnosis with polled status.
+* :mod:`~repro.serve.metrics` — counters/gauges/histograms shared by every
+  layer and exposed at ``GET /metrics``.
 * :mod:`~repro.serve.service` — :class:`DiagnosisService`, the facade tying
   the pieces together.
-* :mod:`~repro.serve.http` — a stdlib JSON-over-HTTP front end
-  (``repro-serve`` on the command line).
+* :mod:`~repro.serve.replicas` — :class:`ReplicaPool`: N service replicas
+  with queue-depth-aware routing and admission control.
+* :mod:`~repro.serve.http` — the legacy thread-per-connection JSON/HTTP
+  front end (compatibility path).
+* :mod:`~repro.serve.gateway` — the asyncio event-loop front end
+  (``repro-serve --async`` on the command line).
 
 Quickstart::
 
@@ -26,29 +32,49 @@ Quickstart::
     with DiagnosisService(registry) as service:
         report = service.diagnose("prod-lenet", inputs, labels)
         print(report.summary())
+
+Scale-out::
+
+    from repro.serve import DiagnosisGateway, ReplicaPool
+
+    pool = ReplicaPool.from_registry("./registry", num_replicas=4)
+    gateway = DiagnosisGateway(pool, port=8421).start()
 """
 
 from .batching import BatchingEngine, ExtractionRequest
 from .cache import FootprintCache, LRUCache, input_digest
+from .gateway import DiagnosisGateway, parse_request_head, serve_gateway_forever
 from .http import DiagnosisHTTPServer, serve_forever
 from .jobs import Job, JobStatus, JobStore, WorkerPool
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, merge_counters
 from .registry import ArtifactRecord, ArtifactRegistry
+from .replicas import ReplicaLease, ReplicaPool
 from .service import DiagnosisService, LoadedModel
 
 __all__ = [
     "ArtifactRecord",
     "ArtifactRegistry",
     "BatchingEngine",
+    "Counter",
+    "DiagnosisGateway",
     "DiagnosisHTTPServer",
     "DiagnosisService",
     "ExtractionRequest",
     "FootprintCache",
+    "Gauge",
+    "Histogram",
     "Job",
     "JobStatus",
     "JobStore",
     "LRUCache",
     "LoadedModel",
+    "MetricsRegistry",
+    "ReplicaLease",
+    "ReplicaPool",
     "WorkerPool",
     "input_digest",
+    "merge_counters",
+    "parse_request_head",
     "serve_forever",
+    "serve_gateway_forever",
 ]

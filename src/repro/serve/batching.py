@@ -31,6 +31,7 @@ import numpy as np
 from ..exceptions import ServeError
 from ..nn.dtype import policy_float
 from .cache import FootprintCache
+from .metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 
 __all__ = ["ExtractionRequest", "BatchingEngine"]
 
@@ -76,6 +77,10 @@ class BatchingEngine:
     max_wait_seconds:
         How long the drain loop keeps the first request of a batch waiting
         for co-travellers before extracting.  Bounds added latency.
+    metrics:
+        Optional :class:`~repro.serve.metrics.MetricsRegistry`; when given,
+        the engine records request/batch counters, coalesced batch sizes,
+        extraction latency, and its queue depth there.
     """
 
     def __init__(
@@ -84,6 +89,7 @@ class BatchingEngine:
         cache: Optional[FootprintCache] = None,
         max_batch_cases: int = 512,
         max_wait_seconds: float = 0.005,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if max_batch_cases < 1:
             raise ServeError(f"max_batch_cases must be >= 1, got {max_batch_cases}")
@@ -105,6 +111,31 @@ class BatchingEngine:
             "cases_extracted": 0,
             "cases_from_cache": 0,
         }
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_requests = metrics.counter(
+                "engine.requests_total", "extraction requests submitted to the engine"
+            )
+            self._m_batches = metrics.counter(
+                "engine.batches_total", "coalesced batches processed"
+            )
+            self._m_cases_extracted = metrics.counter(
+                "engine.cases_extracted_total", "cases that reached the instrumented model"
+            )
+            self._m_cases_cached = metrics.counter(
+                "engine.cases_from_cache_total", "cases resolved from the footprint cache"
+            )
+            self._m_batch_cases = metrics.histogram(
+                "engine.batch_cases",
+                "cases per coalesced batch",
+                buckets=DEFAULT_SIZE_BUCKETS,
+            )
+            self._m_extract_seconds = metrics.histogram(
+                "engine.extraction_seconds", "wall time of one coalesced extraction call"
+            )
+            self._m_queue_depth = metrics.gauge(
+                "engine.queue_depth", "extraction requests waiting in the engine queue"
+            )
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -159,8 +190,12 @@ class BatchingEngine:
         request = ExtractionRequest(
             model_key=str(model_key), inputs=policy_float(inputs)
         )
+        if self._metrics is not None:
+            self._m_requests.inc()
         if self.is_running:
             self._queue.put(request)
+            if self._metrics is not None:
+                self._m_queue_depth.set(self._queue.qsize())
             # stop() may have drained the queue between our check and the
             # put; failing pending requests here closes that window instead
             # of leaving the future hanging forever.
@@ -221,6 +256,10 @@ class BatchingEngine:
             self._stats["batches"] += 1
             self._stats["requests"] += len(requests)
             self._stats["cases_requested"] += sum(r.num_cases for r in requests)
+        if self._metrics is not None:
+            self._m_batches.inc()
+            self._m_batch_cases.observe(sum(r.num_cases for r in requests))
+            self._m_queue_depth.set(self._queue.qsize())
         for model_key, group in by_model.items():
             try:
                 self._process_model_group(model_key, group)
@@ -228,6 +267,18 @@ class BatchingEngine:
                 for request in group:
                     if not request.future.done():
                         request.future.set_exception(error)
+
+    def _timed_extract(
+        self, model_key: str, groups: Sequence[np.ndarray]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Run the raw extraction callback, recording its wall time when metered."""
+        if self._metrics is None:
+            return self.extract_fn(model_key, groups)
+        start = time.perf_counter()
+        try:
+            return self.extract_fn(model_key, groups)
+        finally:
+            self._m_extract_seconds.observe(time.perf_counter() - start)
 
     def _process_model_group(self, model_key: str, group: List[ExtractionRequest]) -> None:
         if self.cache is None:
@@ -265,7 +316,7 @@ class BatchingEngine:
         cached_count = sum(r.num_cases for r in group) - len(missing_rows)
         if missing_rows:
             stacked = np.stack(missing_rows, axis=0)
-            (trajectories, final_probs), = self.extract_fn(model_key, [stacked])
+            (trajectories, final_probs), = self._timed_extract(model_key, [stacked])
             stored: set = set()
             for r, i, row_index in missing_at:
                 pair = (trajectories[row_index], final_probs[row_index])
@@ -278,6 +329,9 @@ class BatchingEngine:
             self._stats["cases_extracted"] += len(missing_rows)
             if missing_rows:
                 self._stats["extraction_calls"] += 1
+        if self._metrics is not None:
+            self._m_cases_cached.inc(cached_count)
+            self._m_cases_extracted.inc(len(missing_rows))
 
         for request, entries in zip(group, slots):
             if request.future.done():
@@ -307,7 +361,9 @@ class BatchingEngine:
             else:
                 pending.append(request)
         if pending:
-            results = self.extract_fn(model_key, [request.inputs for request in pending])
+            results = self._timed_extract(
+                model_key, [request.inputs for request in pending]
+            )
             for request, pair in zip(pending, results):
                 if not request.future.done():
                     request.future.set_result(pair)
@@ -315,6 +371,8 @@ class BatchingEngine:
             self._stats["cases_extracted"] += sum(r.num_cases for r in pending)
             if pending:
                 self._stats["extraction_calls"] += 1
+        if self._metrics is not None:
+            self._m_cases_extracted.inc(sum(r.num_cases for r in pending))
 
     # -- introspection ------------------------------------------------------------
 

@@ -109,11 +109,21 @@ class FootprintCache:
 
     The model key is part of the cache key because the same input produces
     different footprints under different registered models (or versions of the
-    same model).
+    same model).  When a :class:`~repro.serve.metrics.MetricsRegistry` is
+    given, per-row hits/misses, evictions, and the resident size are recorded
+    there (in addition to the cache's own :meth:`stats` counters).
     """
 
-    def __init__(self, maxsize: int = 4096):
+    def __init__(self, maxsize: int = 4096, metrics=None):
         self._cache = LRUCache(maxsize)
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_hits = metrics.counter("cache.hits_total", "footprint cache row hits")
+            self._m_misses = metrics.counter("cache.misses_total", "footprint cache row misses")
+            self._m_evictions = metrics.counter(
+                "cache.evictions_total", "footprint cache rows evicted"
+            )
+            self._m_size = metrics.gauge("cache.size", "footprint cache resident rows")
 
     def lookup(
         self, model_key: str, inputs: np.ndarray
@@ -131,13 +141,21 @@ class FootprintCache:
             digest = input_digest(inputs[i])
             digests.append(digest)
             entries.append(self._cache.get((model_key, digest)))
+        if self._metrics is not None:
+            hits = sum(1 for entry in entries if entry is not None)
+            self._m_hits.inc(hits)
+            self._m_misses.inc(len(entries) - hits)
         return entries, digests
 
     def store(
         self, model_key: str, digest: str, trajectory: np.ndarray, final_probs: np.ndarray
     ) -> None:
         """Cache one freshly-extracted case."""
+        before = self._cache.evictions
         self._cache.put((model_key, digest), (trajectory.copy(), final_probs.copy()))
+        if self._metrics is not None:
+            self._m_evictions.inc(self._cache.evictions - before)
+            self._m_size.set(len(self._cache))
 
     def clear(self) -> None:
         self._cache.clear()

@@ -1,0 +1,578 @@
+"""Asyncio scale-out gateway: event-loop HTTP over a replica pool.
+
+The legacy :class:`~repro.serve.http.DiagnosisHTTPServer` spends a thread per
+connection and funnels every request through one service instance.  Under
+concurrent load that design pays twice: the interpreter context-switches
+across dozens of runnable threads (GIL convoy), and every diagnosis
+serializes on a single batching engine.  The gateway replaces both halves:
+
+* **one event loop** accepts connections and parses HTTP/1.1 with a minimal
+  reader (`readuntil(b"\\r\\n\\r\\n")` + `readexactly(content_length)`), so
+  idle and slow connections cost a coroutine, not a thread;
+* **a small executor** (sized to the replica pool, not the connection count)
+  runs the blocking diagnosis work, bounding how many threads ever compete
+  for the GIL;
+* **admission control happens on the loop** before any work is scheduled:
+  saturated requests are shed in microseconds with ``503`` +
+  ``Retry-After`` instead of queueing without bound;
+* **a response cache** sits in front of admission: production monitoring
+  re-submits the same labeled cases while a defect is investigated, and a
+  repeated ``/diagnose`` body (keyed on its digest, bounded LRU + TTL) is
+  answered from memory — bitwise-identically — without spending a replica
+  slot or an executor thread.  Responses carry ``X-Response-Cache:
+  hit|miss|off`` so clients and tests can observe the path taken; a TTL
+  bounds how long a newly-registered "latest" version can be shadowed by a
+  cached answer.
+
+Every request, shed, latency, and queue depth is recorded in
+:mod:`~repro.serve.metrics` registries and exposed at ``GET /metrics``.
+
+The endpoint surface is a superset of the threading server's (``/health``,
+``/models``, ``/stats``, ``/diagnose``, ``/jobs``, ``/jobs/<id>``, plus
+``/metrics``), so clients can move between the two front ends unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from ..exceptions import (
+    ArtifactNotFoundError,
+    ReproError,
+    ServeError,
+    ServiceSaturatedError,
+)
+from .cache import LRUCache
+from .metrics import MetricsRegistry
+from .protocol import diagnosis_args, parse_json_body
+from .replicas import ReplicaPool
+
+__all__ = ["ParsedRequest", "parse_request_head", "DiagnosisGateway", "serve_gateway_forever"]
+
+DEFAULT_MAX_BODY_BYTES = 16 * 1024 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ParsedRequest:
+    """The parsed head of one HTTP/1.1 request."""
+
+    __slots__ = ("method", "path", "version", "headers")
+
+    def __init__(self, method: str, path: str, version: str, headers: Dict[str, str]):
+        self.method = method
+        self.path = path
+        self.version = version
+        self.headers = headers
+
+    @property
+    def content_length(self) -> int:
+        raw = self.headers.get("content-length", "0").strip()
+        try:
+            length = int(raw)
+        except ValueError as error:
+            raise ServeError(f"invalid Content-Length {raw!r}") from error
+        if length < 0:
+            raise ServeError(f"invalid Content-Length {raw!r}")
+        return length
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.1":
+            return connection != "close"
+        return connection == "keep-alive"
+
+
+def parse_request_head(blob: bytes) -> ParsedRequest:
+    """Parse a request head (request line + headers, CRLF-terminated).
+
+    Deliberately minimal: no continuation lines, no duplicate-header merging,
+    no transfer-encoding — the gateway speaks plain ``Content-Length``
+    HTTP/1.1 and rejects anything else with a 400.
+    """
+    try:
+        text = blob.decode("latin-1")
+    except UnicodeDecodeError as error:  # pragma: no cover - latin-1 decodes all bytes
+        raise ServeError(f"undecodable request head: {error}") from error
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ServeError(f"malformed request line {lines[0]!r}")
+    method, path, version = parts
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise ServeError(f"unsupported HTTP version {version!r}")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator or not name or name != name.strip() or name.startswith(("\t", " ")):
+            raise ServeError(f"malformed header line {line!r}")
+        headers[name.lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise ServeError("Transfer-Encoding is not supported; send Content-Length")
+    return ParsedRequest(method.upper(), path, version, headers)
+
+
+class DiagnosisGateway:
+    """The asyncio front end over a :class:`~repro.serve.replicas.ReplicaPool`.
+
+    Mirrors the lifecycle API of the threading server — construct, then
+    either :meth:`start` (background thread, for tests/embedding) or
+    :meth:`serve_forever` (blocking, for the CLI); ``port=0`` binds an
+    ephemeral port readable from :attr:`port` once running.
+    """
+
+    def __init__(
+        self,
+        pool: ReplicaPool,
+        host: str = "127.0.0.1",
+        port: int = 8421,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        executor_workers: Optional[int] = None,
+        idle_timeout: float = 30.0,
+        body_timeout: float = 30.0,
+        response_cache_size: int = 1024,
+        response_cache_ttl: float = 30.0,
+        metrics: Optional[MetricsRegistry] = None,
+        verbose: bool = False,
+    ):
+        if max_body_bytes < 1:
+            raise ServeError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
+        self.pool = pool
+        self._requested_host = host
+        self._requested_port = int(port)
+        self.max_body_bytes = int(max_body_bytes)
+        self.idle_timeout = float(idle_timeout)
+        self.body_timeout = float(body_timeout)
+        self.verbose = verbose
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        workers = executor_workers if executor_workers is not None else pool.num_replicas + 1
+        if workers < 1:
+            raise ServeError(f"executor_workers must be >= 1, got {workers}")
+        self._executor_workers = int(workers)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._bound: Optional[Tuple[str, int]] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+        self._m_requests = self.metrics.counter(
+            "gateway.requests_total", "HTTP requests received"
+        )
+        self._m_responses = {
+            klass: self.metrics.counter(
+                f"gateway.responses_{klass}xx_total", f"HTTP {klass}xx responses sent"
+            )
+            for klass in (2, 4, 5)
+        }
+        self._m_shed = self.metrics.counter(
+            "gateway.shed_total", "requests rejected with 503 by admission control"
+        )
+        self._m_request_seconds = self.metrics.histogram(
+            "gateway.request_seconds", "request wall time, parse to last byte queued"
+        )
+        self._m_connections = self.metrics.gauge(
+            "gateway.open_connections", "currently open client connections"
+        )
+        #: Response cache: raw-body digest -> (expires_at, response bytes).
+        #: ``response_cache_size <= 0`` disables it (LRUCache drops every put).
+        self.response_cache_ttl = float(response_cache_ttl)
+        self._response_cache = LRUCache(int(response_cache_size))
+        self._m_response_hits = self.metrics.counter(
+            "gateway.response_cache_hits_total", "diagnose responses served from cache"
+        )
+        self._m_response_misses = self.metrics.counter(
+            "gateway.response_cache_misses_total", "diagnose requests that missed the cache"
+        )
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._bound[0] if self._bound else self._requested_host
+
+    @property
+    def port(self) -> int:
+        return self._bound[1] if self._bound else self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self, timeout: float = 10.0) -> "DiagnosisGateway":
+        """Run the event loop on a background thread; returns once bound."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._started.clear()
+        self._startup_error = None
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-serve-gateway", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise ServeError("gateway did not start within the timeout")
+        if self._startup_error is not None:
+            raise ServeError(f"gateway failed to start: {self._startup_error}")
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI entry point)."""
+        self._run_loop()
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        loop, stop_event = self._loop, self._stop_event
+        if loop is not None and stop_event is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(stop_event.set)
+            except RuntimeError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as error:  # noqa: BLE001 - surfaced to start() or re-raised
+            self._startup_error = error
+            if not self._started.is_set():
+                # Failed before binding: start() is still waiting and will
+                # surface the error to its caller.
+                self._started.set()
+            else:
+                # Crashed after startup: die loudly (threading's excepthook
+                # prints the traceback) instead of exiting silently while
+                # clients get connection-refused.
+                raise
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._executor_workers, thread_name_prefix="repro-gateway-worker"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._requested_host,
+            self._requested_port,
+            limit=MAX_HEADER_BYTES,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._bound = (sockname[0], int(sockname[1]))
+        self._started.set()
+        try:
+            async with self._server:
+                await self._stop_event.wait()
+        finally:
+            self._executor.shutdown(wait=False)
+            self._bound = None
+
+    # -- connection handling --------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._m_connections.inc()
+        try:
+            while True:
+                try:
+                    head = await asyncio.wait_for(
+                        reader.readuntil(b"\r\n\r\n"), timeout=self.idle_timeout
+                    )
+                except (asyncio.IncompleteReadError, ConnectionError, asyncio.TimeoutError):
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._respond(writer, 431, {"error": "request head too large"}, False)
+                    break
+                keep_alive = await self._handle_request(head, reader, writer)
+                if not keep_alive:
+                    break
+        except ConnectionError:
+            pass
+        finally:
+            self._m_connections.dec()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.TimeoutError):
+                pass
+
+    async def _handle_request(
+        self, head: bytes, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Parse, dispatch, respond.  Returns whether to keep the connection."""
+        start = time.perf_counter()
+        self._m_requests.inc()
+        try:
+            request = parse_request_head(head)
+            length = request.content_length
+        except ServeError as error:
+            await self._respond(writer, 400, {"error": str(error)}, False)
+            return False
+
+        if length > self.max_body_bytes:
+            # The body is never read, so the stream is desynchronized: close.
+            await self._respond(
+                writer,
+                413,
+                {"error": f"request body of {length} bytes exceeds {self.max_body_bytes}"},
+                False,
+            )
+            return False
+        body = b""
+        if length:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), timeout=self.body_timeout
+                )
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return False
+            except asyncio.TimeoutError:
+                await self._respond(writer, 408, {"error": "timed out reading body"}, False)
+                return False
+
+        status, payload, extra = await self._dispatch(request, body)
+        keep_alive = request.keep_alive and status < 500
+        sent = await self._respond(writer, status, payload, keep_alive, extra)
+        self._m_request_seconds.observe(time.perf_counter() - start)
+        if self.verbose:
+            print(f"gateway: {request.method} {request.path} -> {status}")
+        return keep_alive and sent
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Union[Dict, bytes],
+        keep_alive: bool,
+        extra_headers: Sequence[Tuple[str, str]] = (),
+    ) -> bool:
+        body = payload if isinstance(payload, bytes) else json.dumps(payload).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in extra_headers)
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        self._m_responses.get(status // 100, self._m_responses[5]).inc()
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except ConnectionError:
+            return False
+        return True
+
+    # -- routing --------------------------------------------------------------------
+
+    async def _dispatch(
+        self, request: ParsedRequest, body: bytes
+    ) -> Tuple[int, Dict, Sequence[Tuple[str, str]]]:
+        path = request.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if request.method == "GET":
+                return await self._dispatch_get(path)
+            if request.method == "POST":
+                return await self._dispatch_post(path, body)
+            return 405, {"error": f"method {request.method} not allowed"}, ()
+        except ServiceSaturatedError as error:
+            self._m_shed.inc()
+            retry_after = max(1, int(round(error.retry_after)))
+            return 503, {"error": str(error)}, (("Retry-After", str(retry_after)),)
+        except ArtifactNotFoundError as error:
+            return 404, {"error": f"unknown model: {error.args[0]}"}, ()
+        except (ServeError, ReproError, ValueError) as error:
+            return 400, {"error": f"{type(error).__name__}: {error}"}, ()
+        except Exception as error:  # noqa: BLE001 - surface as a 500, keep serving
+            return 500, {"error": f"{type(error).__name__}: {error}"}, ()
+
+    async def _dispatch_get(self, path: str) -> Tuple[int, Dict, Sequence[Tuple[str, str]]]:
+        if path == "/health":
+            models = await self._run_blocking(self.pool.registered_models)
+            return 200, {"status": "ok", "models": models}, ()
+        if path == "/models":
+            records = await self._run_blocking(self.pool.records)
+            return 200, {"models": records}, ()
+        if path == "/stats":
+            return 200, self._stats_payload(), ()
+        if path == "/metrics":
+            return 200, self._metrics_payload(), ()
+        if path == "/jobs":
+            return 200, {"jobs": self.pool.list_jobs()}, ()
+        if path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            try:
+                replica_index, job = self.pool.find_job(job_id)
+            except ServeError:
+                return 404, {"error": f"unknown job {job_id!r}"}, ()
+            record = job.as_dict()
+            record["replica"] = replica_index
+            return 200, record, ()
+        return 404, {"error": f"unknown path {path!r}"}, ()
+
+    async def _dispatch_post(
+        self, path: str, body: bytes
+    ) -> Tuple[int, Dict, Sequence[Tuple[str, str]]]:
+        if path == "/diagnose":
+            # The response cache answers repeated bodies on the loop itself —
+            # no admission slot, no executor hop, no recomputation.
+            key, cached = self._response_cache_lookup(body)
+            if cached is not None:
+                self._m_response_hits.inc()
+                return 200, cached, (("X-Response-Cache", "hit"),)
+            # Admission happens here on the loop — a saturated pool sheds the
+            # request before any executor slot or JSON parsing is spent on it.
+            lease = self.pool.acquire()
+            status, payload, extra = await self._run_blocking(
+                self._diagnose_blocking, lease, body
+            )
+            if key is None:
+                if status == 200:
+                    return status, payload, (("X-Response-Cache", "off"),)
+                return status, payload, extra
+            self._m_response_misses.inc()
+            if status != 200:
+                return status, payload, extra
+            encoded = json.dumps(payload).encode("utf-8")
+            self._response_cache.put(key, (time.monotonic() + self.response_cache_ttl, encoded))
+            return 200, encoded, (("X-Response-Cache", "miss"),)
+        if path == "/jobs":
+            return await self._run_blocking(self._submit_job_blocking, body)
+        return 404, {"error": f"unknown path {path!r}"}, ()
+
+    async def _run_blocking(self, fn, *args):
+        return await self._loop.run_in_executor(self._executor, fn, *args)
+
+    def _response_cache_lookup(self, body: bytes) -> Tuple[Optional[str], Optional[bytes]]:
+        """Return ``(cache key, cached response bytes or None)``.
+
+        The key is ``None`` when the cache is disabled.  Expired entries
+        count as misses (and are overwritten by the fresh store).
+        """
+        if self._response_cache.maxsize <= 0:
+            return None, None
+        key = hashlib.blake2b(body, digest_size=16).hexdigest()
+        entry = self._response_cache.get(key)
+        if entry is not None:
+            expires_at, cached = entry
+            if time.monotonic() < expires_at:
+                return key, cached
+        return key, None
+
+    def _diagnose_blocking(
+        self, lease, body: bytes
+    ) -> Tuple[int, Dict, Sequence[Tuple[str, str]]]:
+        try:
+            name, inputs, labels, version, metadata = diagnosis_args(parse_json_body(body))
+            report = lease.service.diagnose_dict(
+                name, inputs, labels, version=version, metadata=metadata
+            )
+            return 200, report, ()
+        except ArtifactNotFoundError as error:
+            return 404, {"error": f"unknown model: {error.args[0]}"}, ()
+        except (ServeError, ReproError, ValueError) as error:
+            return 400, {"error": f"{type(error).__name__}: {error}"}, ()
+        except Exception as error:  # noqa: BLE001 - surface as a 500, keep serving
+            return 500, {"error": f"{type(error).__name__}: {error}"}, ()
+        finally:
+            lease.release()
+
+    def _submit_job_blocking(self, body: bytes) -> Tuple[int, Dict, Sequence[Tuple[str, str]]]:
+        try:
+            name, inputs, labels, version, metadata = diagnosis_args(parse_json_body(body))
+            replica_index, job = self.pool.submit_job(
+                name, inputs, labels, version=version, metadata=metadata
+            )
+            payload = {"job_id": job.job_id, "status": job.status, "replica": replica_index}
+            return 202, payload, ()
+        except ArtifactNotFoundError as error:
+            return 404, {"error": f"unknown model: {error.args[0]}"}, ()
+        except (ServeError, ReproError, ValueError) as error:
+            return 400, {"error": f"{type(error).__name__}: {error}"}, ()
+        except Exception as error:  # noqa: BLE001 - surface as a 500, keep serving
+            return 500, {"error": f"{type(error).__name__}: {error}"}, ()
+
+    # -- payload builders -------------------------------------------------------------
+
+    def _stats_payload(self) -> Dict:
+        return {
+            "gateway": {
+                "url": self.url,
+                "executor_workers": self._executor_workers,
+                "max_body_bytes": self.max_body_bytes,
+                "requests_total": self._m_requests.value,
+                "shed_total": self._m_shed.value,
+                "open_connections": self._m_connections.value,
+                "response_cache": {
+                    "maxsize": self._response_cache.maxsize,
+                    "ttl_seconds": self.response_cache_ttl,
+                    "size": len(self._response_cache),
+                    "hits": self._m_response_hits.value,
+                    "misses": self._m_response_misses.value,
+                },
+            },
+            "pool": self.pool.stats(),
+        }
+
+    def _metrics_payload(self) -> Dict:
+        snapshot = self.pool.metrics_snapshot()
+        snapshot["gateway"] = self.metrics.as_dict()
+        return snapshot
+
+    def __enter__(self) -> "DiagnosisGateway":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"DiagnosisGateway(url={self.url}, pool={self.pool!r})"
+
+
+def serve_gateway_forever(
+    pool: ReplicaPool,
+    host: str = "127.0.0.1",
+    port: int = 8421,
+    verbose: bool = False,
+    **gateway_kwargs,
+) -> None:
+    """Convenience wrapper: bind, announce, and serve until interrupted."""
+    gateway = DiagnosisGateway(pool, host=host, port=port, verbose=verbose, **gateway_kwargs)
+    gateway.start()
+    print(
+        f"repro-serve gateway listening on {gateway.url} "
+        f"({pool.num_replicas} replicas, max {pool.max_inflight} in flight; "
+        f"models: {', '.join(pool.registered_models()) or 'none registered'})"
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        gateway.shutdown()
+        pool.close()

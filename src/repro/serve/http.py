@@ -9,6 +9,8 @@ Endpoints
     Manifest records of every registered artifact version.
 ``GET /stats``
     Engine/cache/job counters.
+``GET /metrics``
+    The service's metrics registry (counters/gauges/histograms) as JSON.
 ``POST /diagnose``
     Synchronous diagnosis.  Body: ``{"model": str, "inputs": [[...], ...],
     "labels": [...], "version"?: str, "metadata"?: {}}``.  Returns the
@@ -28,14 +30,22 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
-from ..exceptions import ArtifactNotFoundError, ReproError, ServeError
+from ..exceptions import ArtifactNotFoundError, PayloadTooLargeError, ReproError, ServeError
+from .protocol import diagnosis_args, parse_json_body
 from .service import DiagnosisService
 
 __all__ = ["DiagnosisHTTPServer", "serve_forever"]
 
-_MAX_BODY_BYTES = 256 * 1024 * 1024
+#: Default request-body cap.  Kept deliberately modest (a 16 MiB JSON batch is
+#: already thousands of production cases); a hostile Content-Length can no
+#: longer make a handler thread buffer hundreds of megabytes.
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Per-socket timeout: a client that stops sending (or reading) mid-request
+#: frees its handler thread after this many seconds instead of pinning it.
+_SOCKET_TIMEOUT_SECONDS = 30.0
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -43,6 +53,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     service: DiagnosisService  # injected by DiagnosisHTTPServer
     protocol_version = "HTTP/1.1"
+    timeout = _SOCKET_TIMEOUT_SECONDS  # honored by StreamRequestHandler.setup()
 
     # -- plumbing ----------------------------------------------------------------
 
@@ -75,34 +86,14 @@ class _Handler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
             raise ServeError("request body required")
-        if length > _MAX_BODY_BYTES:
-            raise ServeError(f"request body exceeds {_MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length)
-        try:
-            payload = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise ServeError(f"invalid JSON body: {error}") from error
-        if not isinstance(payload, dict):
-            raise ServeError("JSON body must be an object")
-        return payload
+        limit = getattr(self.server, "max_body_bytes", _MAX_BODY_BYTES)
+        if length > limit:
+            raise PayloadTooLargeError(f"request body of {length} bytes exceeds {limit}")
+        return parse_json_body(self.rfile.read(length))
 
-    @staticmethod
-    def _diagnosis_args(payload: Dict) -> Tuple[str, list, list, Optional[str], Optional[Dict]]:
-        try:
-            name = payload["model"]
-            inputs = payload["inputs"]
-            labels = payload["labels"]
-        except KeyError as error:
-            raise ServeError(f"missing required field {error.args[0]!r}") from error
-        if not isinstance(name, str):
-            raise ServeError("'model' must be a string")
-        version = payload.get("version")
-        if version is not None and not isinstance(version, str):
-            raise ServeError("'version' must be a string when given")
-        metadata = payload.get("metadata")
-        if metadata is not None and not isinstance(metadata, dict):
-            raise ServeError("'metadata' must be an object when given")
-        return name, inputs, labels, version, metadata
+    #: Shared with the asyncio gateway (repro.serve.protocol) so the two
+    #: front ends cannot drift apart on the request schema.
+    _diagnosis_args = staticmethod(diagnosis_args)
 
     # -- routes -------------------------------------------------------------------
 
@@ -115,6 +106,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json({"models": self.service.models()})
             elif path == "/stats":
                 self._send_json(self.service.stats())
+            elif path == "/metrics":
+                self._send_json({"service": self.service.metrics.as_dict()})
             elif path == "/jobs":
                 self._send_json({"jobs": [job.as_dict() for job in self.service.jobs.list()]})
             elif path.startswith("/jobs/"):
@@ -149,6 +142,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_error_json(f"unknown path {path!r}", 404)
         except ArtifactNotFoundError as error:
             self._send_error_json(f"unknown model: {error.args[0]}", 404)
+        except PayloadTooLargeError as error:
+            self._send_error_json(str(error), 413)
         except (ServeError, ReproError, ValueError) as error:
             self._send_error_json(f"{type(error).__name__}: {error}", 400)
         except Exception as error:  # noqa: BLE001 - surface as a 500, keep serving
@@ -168,11 +163,23 @@ class DiagnosisHTTPServer:
         host: str = "127.0.0.1",
         port: int = 8421,
         verbose: bool = False,
+        max_body_bytes: int = _MAX_BODY_BYTES,
+        socket_timeout: float = _SOCKET_TIMEOUT_SECONDS,
     ):
         self.service = service
-        handler = type("BoundHandler", (_Handler,), {"service": service})
-        self._server = ThreadingHTTPServer((host, port), handler)
+        handler = type(
+            "BoundHandler", (_Handler,), {"service": service, "timeout": float(socket_timeout)}
+        )
+        server_cls = type(
+            "BoundThreadingHTTPServer", (ThreadingHTTPServer,), {"request_queue_size": 128}
+        )
+        self._server = server_cls((host, port), handler)
+        # Hardening: handler threads must not block interpreter exit, a burst
+        # of connections must not overflow the default listen backlog of 5,
+        # and a slow/hostile client is bounded by the per-socket timeout and
+        # the body-size cap rather than by available memory.
         self._server.daemon_threads = True
+        self._server.max_body_bytes = int(max_body_bytes)
         self._server.verbose = verbose
         self._thread: Optional[threading.Thread] = None
 

@@ -143,12 +143,24 @@ class JobStore:
 
 
 class WorkerPool:
-    """Fixed pool of daemon threads executing jobs from a shared queue."""
+    """Fixed pool of daemon threads executing jobs from a shared queue.
 
-    def __init__(self, num_workers: int = 2, store: Optional[JobStore] = None):
+    When a :class:`~repro.serve.metrics.MetricsRegistry` is given, the pool
+    records submission/outcome counters, job wall time, and the depth of its
+    work queue.
+    """
+
+    def __init__(self, num_workers: int = 2, store: Optional[JobStore] = None, metrics=None):
         if num_workers < 1:
             raise ServeError(f"num_workers must be >= 1, got {num_workers}")
         self.store = store or JobStore()
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_submitted = metrics.counter("jobs.submitted_total", "jobs accepted")
+            self._m_succeeded = metrics.counter("jobs.succeeded_total", "jobs that succeeded")
+            self._m_failed = metrics.counter("jobs.failed_total", "jobs that failed")
+            self._m_run_seconds = metrics.histogram("jobs.run_seconds", "job wall time")
+            self._m_queue_depth = metrics.gauge("jobs.queue_depth", "jobs waiting for a worker")
         self._queue: "queue.Queue" = queue.Queue()
         self._stop = threading.Event()
         self._threads = [
@@ -170,6 +182,9 @@ class WorkerPool:
             raise ServeError("worker pool is shut down")
         job = self.store.create(kind=kind, details=details)
         self._queue.put((job.job_id, fn))
+        if self._metrics is not None:
+            self._m_submitted.inc()
+            self._m_queue_depth.set(self._queue.qsize())
         # shutdown() may have enqueued the stop sentinels between our check
         # and the put, leaving this job behind them forever; fail it rather
         # than let it sit PENDING with every worker gone.
@@ -184,10 +199,20 @@ class WorkerPool:
                 return
             job_id, fn = item
             self.store.mark_running(job_id)
+            if self._metrics is not None:
+                self._m_queue_depth.set(self._queue.qsize())
+            start = time.perf_counter()
             try:
                 self.store.mark_succeeded(job_id, fn())
+                if self._metrics is not None:
+                    self._m_succeeded.inc()
             except Exception as error:  # noqa: BLE001 - job outcome, not a crash
                 self.store.mark_failed(job_id, f"{type(error).__name__}: {error}")
+                if self._metrics is not None:
+                    self._m_failed.inc()
+            finally:
+                if self._metrics is not None:
+                    self._m_run_seconds.observe(time.perf_counter() - start)
 
     def wait_for(self, job_id: str, timeout: float = 30.0, poll: float = 0.01) -> Job:
         """Block until ``job_id`` finishes (convenience for tests and CLIs)."""

@@ -1,0 +1,54 @@
+"""Request-schema validation shared by both HTTP front ends.
+
+The thread-per-connection server (:mod:`repro.serve.http`) and the asyncio
+gateway (:mod:`repro.serve.gateway`) accept the same ``/diagnose`` and
+``/jobs`` body schema.  Keeping the parsing and field validation here — one
+implementation, two importers — is what keeps the gateway's endpoint surface
+a strict superset of the legacy server's: a schema change lands in both front
+ends or in neither.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+from ..exceptions import ServeError
+
+__all__ = ["parse_json_body", "diagnosis_args"]
+
+
+def parse_json_body(raw: bytes) -> Dict:
+    """Decode a request body into the JSON object every POST endpoint expects."""
+    if not raw:
+        raise ServeError("request body required")
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServeError(f"invalid JSON body: {error}") from error
+    if not isinstance(payload, dict):
+        raise ServeError("JSON body must be an object")
+    return payload
+
+
+def diagnosis_args(payload: Dict) -> Tuple[str, list, list, Optional[str], Optional[Dict]]:
+    """Validate and unpack a diagnosis request body.
+
+    Returns ``(model, inputs, labels, version, metadata)``; raises
+    :class:`~repro.exceptions.ServeError` on any schema violation.
+    """
+    try:
+        name = payload["model"]
+        inputs = payload["inputs"]
+        labels = payload["labels"]
+    except KeyError as error:
+        raise ServeError(f"missing required field {error.args[0]!r}") from error
+    if not isinstance(name, str):
+        raise ServeError("'model' must be a string")
+    version = payload.get("version")
+    if version is not None and not isinstance(version, str):
+        raise ServeError("'version' must be a string when given")
+    metadata = payload.get("metadata")
+    if metadata is not None and not isinstance(metadata, dict):
+        raise ServeError("'metadata' must be an object when given")
+    return name, inputs, labels, version, metadata

@@ -1,0 +1,341 @@
+"""Replica sharding and admission control for the serving gateway.
+
+One :class:`~repro.serve.service.DiagnosisService` serializes every
+extraction on its single engine thread — correct, but a scale ceiling: two
+requests for *different* models still queue behind each other.  The
+:class:`ReplicaPool` runs N independent service replicas (each with its own
+engine thread, loaded-model LRU, and footprint cache) over the same artifact
+registry, so independent requests extract in parallel while each individual
+replica keeps its single-forward-pass-at-a-time invariant.
+
+Routing is queue-depth aware: a request goes to the replica with the fewest
+in-flight requests, with a round-robin pointer breaking ties so equally-idle
+replicas share the load.  Admission control is a two-level bound — a
+per-replica queue cap and a pool-wide in-flight cap — and a request that fits
+under neither is shed immediately with
+:class:`~repro.exceptions.ServiceSaturatedError` (surfaced by the HTTP layer
+as ``503`` + ``Retry-After``) instead of being buffered without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..exceptions import ServeError, ServiceSaturatedError
+from .metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry, merge_counters
+from .service import DiagnosisService
+
+__all__ = ["ReplicaLease", "ReplicaPool"]
+
+
+class _Replica:
+    """One pool member: a service plus its admission bookkeeping."""
+
+    def __init__(self, index: int, service: DiagnosisService):
+        self.index = index
+        self.service = service
+        self.inflight = 0
+        self.assigned_total = 0
+        self.m_inflight = service.metrics.gauge(
+            "replica.inflight", "requests currently admitted to this replica"
+        )
+        self.m_assigned = service.metrics.counter(
+            "replica.assigned_total", "requests ever routed to this replica"
+        )
+
+
+class ReplicaLease:
+    """An admitted slot on one replica; release it when the request finishes.
+
+    Usable as a context manager::
+
+        with pool.acquire() as service:
+            report = service.diagnose_dict(...)
+    """
+
+    def __init__(self, pool: "ReplicaPool", replica: _Replica):
+        self._pool = pool
+        self._replica = replica
+        self._released = False
+
+    @property
+    def service(self) -> DiagnosisService:
+        return self._replica.service
+
+    @property
+    def replica_index(self) -> int:
+        return self._replica.index
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._pool._release(self._replica)
+
+    def __enter__(self) -> DiagnosisService:
+        return self._replica.service
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+class ReplicaPool:
+    """N diagnosis-service replicas behind queue-depth-aware admission.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(index) -> DiagnosisService`` building one replica.  Use
+        :meth:`from_registry` for the common same-registry case.
+    num_replicas:
+        Pool size.  Each replica owns a full service stack (engine thread,
+        cache, worker pool), so memory scales with this.
+    max_queue_per_replica:
+        In-flight requests one replica accepts before it stops being an
+        admission candidate.
+    max_inflight:
+        Pool-wide in-flight cap; defaults to
+        ``num_replicas * max_queue_per_replica``.
+    retry_after_seconds:
+        Hint attached to shed requests (the HTTP ``Retry-After`` value).
+    metrics:
+        Pool-level registry (admissions, sheds, in-flight); defaults to a
+        fresh one.  Per-replica instruments live in each replica service's
+        own registry.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[int], DiagnosisService],
+        num_replicas: int = 2,
+        max_queue_per_replica: int = 8,
+        max_inflight: Optional[int] = None,
+        retry_after_seconds: float = 1.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if num_replicas < 1:
+            raise ServeError(f"num_replicas must be >= 1, got {num_replicas}")
+        if max_queue_per_replica < 1:
+            raise ServeError(f"max_queue_per_replica must be >= 1, got {max_queue_per_replica}")
+        if max_inflight is None:
+            max_inflight = num_replicas * max_queue_per_replica
+        if max_inflight < 1:
+            raise ServeError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_queue_per_replica = int(max_queue_per_replica)
+        self.max_inflight = int(max_inflight)
+        self.retry_after_seconds = float(retry_after_seconds)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._replicas = [_Replica(i, factory(i)) for i in range(int(num_replicas))]
+        self._lock = threading.Lock()
+        self._next = 0
+        self._closed = False
+        self._m_admitted = self.metrics.counter(
+            "pool.admitted_total", "requests admitted to a replica"
+        )
+        self._m_shed = self.metrics.counter(
+            "pool.shed_total", "requests rejected by admission control"
+        )
+        self._m_inflight = self.metrics.gauge(
+            "pool.inflight", "requests currently in flight across all replicas"
+        )
+        self._m_depth = self.metrics.histogram(
+            "pool.admitted_queue_depth",
+            "chosen replica's queue depth at admission (admitted requests)",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        num_replicas: int = 2,
+        max_queue_per_replica: int = 8,
+        max_inflight: Optional[int] = None,
+        retry_after_seconds: float = 1.0,
+        metrics: Optional[MetricsRegistry] = None,
+        **service_kwargs,
+    ) -> "ReplicaPool":
+        """Build a pool of identical replicas over one artifact registry.
+
+        ``registry`` may be a path or an ``ArtifactRegistry``;
+        ``service_kwargs`` are forwarded to every
+        :class:`~repro.serve.service.DiagnosisService`.
+        """
+
+        def factory(index: int) -> DiagnosisService:
+            return DiagnosisService(registry, **service_kwargs)
+
+        return cls(
+            factory,
+            num_replicas=num_replicas,
+            max_queue_per_replica=max_queue_per_replica,
+            max_inflight=max_inflight,
+            retry_after_seconds=retry_after_seconds,
+            metrics=metrics,
+        )
+
+    # -- admission -----------------------------------------------------------------
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self._replicas)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return sum(replica.inflight for replica in self._replicas)
+
+    def acquire(self) -> ReplicaLease:
+        """Admit one request, returning a lease on the least-loaded replica.
+
+        Raises :class:`~repro.exceptions.ServiceSaturatedError` when the
+        pool-wide cap is reached or every replica queue is full.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServeError("replica pool is closed")
+            total = sum(replica.inflight for replica in self._replicas)
+            if total >= self.max_inflight:
+                self._m_shed.inc()
+                raise ServiceSaturatedError(
+                    f"{total} requests in flight (max {self.max_inflight}); retry later",
+                    retry_after=self.retry_after_seconds,
+                )
+            count = len(self._replicas)
+            best: Optional[_Replica] = None
+            for offset in range(count):
+                replica = self._replicas[(self._next + offset) % count]
+                if replica.inflight >= self.max_queue_per_replica:
+                    continue
+                if best is None or replica.inflight < best.inflight:
+                    best = replica
+            if best is None:
+                self._m_shed.inc()
+                raise ServiceSaturatedError(
+                    f"all {count} replica queues at capacity "
+                    f"({self.max_queue_per_replica} each); retry later",
+                    retry_after=self.retry_after_seconds,
+                )
+            self._next = (best.index + 1) % count
+            self._m_depth.observe(best.inflight)
+            best.inflight += 1
+            best.assigned_total += 1
+            best.m_inflight.set(best.inflight)
+            best.m_assigned.inc()
+            self._m_admitted.inc()
+            self._m_inflight.set(total + 1)
+            return ReplicaLease(self, best)
+
+    def _release(self, replica: _Replica) -> None:
+        with self._lock:
+            replica.inflight = max(0, replica.inflight - 1)
+            replica.m_inflight.set(replica.inflight)
+            self._m_inflight.set(sum(r.inflight for r in self._replicas))
+
+    # -- request helpers (used by the gateway's executor threads) -------------------
+
+    def diagnose_dict(self, name: str, inputs, labels, **kwargs) -> Dict:
+        """Admit, route, diagnose, release — the gateway's synchronous path."""
+        lease = self.acquire()
+        try:
+            return lease.service.diagnose_dict(name, inputs, labels, **kwargs)
+        finally:
+            lease.release()
+
+    def submit_job(self, name: str, inputs, labels, **kwargs):
+        """Route an asynchronous diagnosis to the least-loaded replica.
+
+        Jobs are bounded by each replica's job store rather than the
+        admission window (they do not hold a connection open), so routing
+        considers current in-flight load but never sheds.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServeError("replica pool is closed")
+            count = len(self._replicas)
+            best = self._replicas[self._next % count]
+            for offset in range(count):
+                replica = self._replicas[(self._next + offset) % count]
+                if replica.inflight < best.inflight:
+                    best = replica
+            self._next = (best.index + 1) % count
+        job = best.service.submit_diagnosis(name, inputs, labels, **kwargs)
+        return best.index, job
+
+    def find_job(self, job_id: str) -> Tuple[int, object]:
+        """Locate a job by id across every replica's store."""
+        for replica in self._replicas:
+            try:
+                return replica.index, replica.service.jobs.get(job_id)
+            except ServeError:
+                continue
+        raise ServeError(f"unknown job {job_id!r}")
+
+    def list_jobs(self, limit: int = 50) -> List[Dict]:
+        """Most recent jobs across all replicas, newest first."""
+        merged = []
+        for replica in self._replicas:
+            for job in replica.service.jobs.list(limit=limit):
+                record = job.as_dict()
+                record["replica"] = replica.index
+                merged.append(record)
+        merged.sort(key=lambda record: record["submitted_at"], reverse=True)
+        return merged[: max(0, int(limit))]
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def replicas(self) -> List[DiagnosisService]:
+        return [replica.service for replica in self._replicas]
+
+    def registered_models(self) -> List[str]:
+        return self._replicas[0].service.registry.models()
+
+    def records(self) -> List[Dict]:
+        return self._replicas[0].service.models()
+
+    def stats(self) -> Dict:
+        with self._lock:
+            queue_depths = [replica.inflight for replica in self._replicas]
+            assigned = [replica.assigned_total for replica in self._replicas]
+        return {
+            "num_replicas": self.num_replicas,
+            "max_queue_per_replica": self.max_queue_per_replica,
+            "max_inflight": self.max_inflight,
+            "inflight_per_replica": queue_depths,
+            "assigned_per_replica": assigned,
+            "shed_total": self._m_shed.value,
+            "replicas": [replica.service.stats() for replica in self._replicas],
+        }
+
+    def metrics_snapshot(self) -> Dict:
+        """Pool + per-replica instrument snapshots, with a counter rollup."""
+        replica_snapshots = [replica.service.metrics.as_dict() for replica in self._replicas]
+        return {
+            "pool": self.metrics.as_dict(),
+            "replicas": replica_snapshots,
+            "aggregate_counters": merge_counters(replica_snapshots),
+        }
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for replica in self._replicas:
+            replica.service.close()
+
+    def __enter__(self) -> "ReplicaPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaPool(replicas={self.num_replicas}, "
+            f"max_queue_per_replica={self.max_queue_per_replica}, "
+            f"max_inflight={self.max_inflight})"
+        )

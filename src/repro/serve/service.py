@@ -27,6 +27,7 @@ for full-precision parity with offline runs.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -42,6 +43,7 @@ from ..nn.dtype import resolve_dtype
 from .batching import BatchingEngine
 from .cache import FootprintCache
 from .jobs import Job, JobStore, WorkerPool
+from .metrics import MetricsRegistry
 from .registry import ArtifactRegistry
 
 __all__ = ["LoadedModel", "DiagnosisService"]
@@ -88,6 +90,11 @@ class DiagnosisService:
         artifact's own policy (float32 by default — see
         :class:`~repro.core.SoftmaxInstrumentedModel`).  Operators who need
         bit-identical parity with offline float64 runs pass ``"float64"``.
+    metrics:
+        Optional shared :class:`~repro.serve.metrics.MetricsRegistry`; by
+        default the service creates its own.  The registry is threaded through
+        the batching engine, footprint cache, and worker pool, and exposed at
+        ``GET /metrics`` by the HTTP front ends.
     """
 
     def __init__(
@@ -101,6 +108,7 @@ class DiagnosisService:
         extraction_batch_size: int = 128,
         request_timeout: float = 120.0,
         inference_dtype: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if max_loaded_models < 1:
             raise ServeError(f"max_loaded_models must be >= 1, got {max_loaded_models}")
@@ -114,15 +122,28 @@ class DiagnosisService:
         self._entries: "OrderedDict[str, LoadedModel]" = OrderedDict()
         self._entries_lock = threading.Lock()
 
-        self.cache = FootprintCache(cache_size) if cache_size > 0 else None
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_diagnoses = self.metrics.counter(
+            "service.diagnoses_total", "synchronous diagnoses served"
+        )
+        self._m_diagnosis_seconds = self.metrics.histogram(
+            "service.diagnosis_seconds", "end-to-end synchronous diagnosis wall time"
+        )
+        self._m_errors = self.metrics.counter(
+            "service.errors_total", "diagnoses that raised an error"
+        )
+        self.cache = (
+            FootprintCache(cache_size, metrics=self.metrics) if cache_size > 0 else None
+        )
         self.engine = BatchingEngine(
             extract_fn=self._extract_raw,
             cache=self.cache,
             max_batch_cases=max_batch_cases,
             max_wait_seconds=batch_wait_seconds,
+            metrics=self.metrics,
         ).start()
         self.jobs = JobStore()
-        self.pool = WorkerPool(num_workers=num_workers, store=self.jobs)
+        self.pool = WorkerPool(num_workers=num_workers, store=self.jobs, metrics=self.metrics)
         self._closed = False
 
     # -- model residency ----------------------------------------------------------
@@ -241,6 +262,27 @@ class DiagnosisService:
         cases (via the extracted footprints' own predictions) and aggregates
         their defect evidence into a :class:`DefectReport`.
         """
+        start = time.perf_counter()
+        try:
+            report = self._diagnose_inner(
+                name, inputs, labels, version=version, metadata=metadata, timeout=timeout
+            )
+        except Exception:
+            self._m_errors.inc()
+            raise
+        self._m_diagnoses.inc()
+        self._m_diagnosis_seconds.observe(time.perf_counter() - start)
+        return report
+
+    def _diagnose_inner(
+        self,
+        name: str,
+        inputs,
+        labels,
+        version: Optional[str] = None,
+        metadata: Optional[Dict] = None,
+        timeout: Optional[float] = None,
+    ) -> DefectReport:
         if self._closed:
             raise ServeError("service is closed")
         inputs, labels = self._validate_request(inputs, labels)

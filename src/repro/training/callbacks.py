@@ -7,7 +7,7 @@ keeps the trainer's control flow easy to reason about.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from ..exceptions import ConfigurationError
 from .history import EpochRecord

@@ -12,8 +12,7 @@ import pytest
 
 from repro.core import DeepMorph, find_faulty_cases
 from repro.defects import DefectType, InsufficientTrainingData, UnreliableTrainingData
-from repro.experiments import ExperimentSettings, preset, run_cell
-from repro.models import LeNet
+from repro.experiments import preset, run_cell
 from repro.optim import Adam
 from repro.training import Trainer, evaluate
 from tests.conftest import make_tiny_generator, make_tiny_model

@@ -1,0 +1,403 @@
+"""End-to-end gateway test: fit → register → async HTTP diagnose → parity.
+
+Mirrors ``test_serve_http.py`` for the asyncio gateway, then goes further:
+the gateway must agree with the legacy threading server *and* the direct
+``DeepMorph.diagnose_dataset`` call, survive the documented error paths
+(malformed JSON, oversized body, unknown model/version, saturation), and
+publish a well-formed ``/metrics`` document.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import (
+    ArtifactRegistry,
+    DiagnosisGateway,
+    DiagnosisHTTPServer,
+    DiagnosisService,
+    ReplicaPool,
+)
+
+
+@pytest.fixture(scope="module")
+def registry_dir(tmp_path_factory, fitted_deepmorph):
+    root = tmp_path_factory.mktemp("gateway_registry")
+    registry = ArtifactRegistry(root)
+    registry.register("tiny", fitted_deepmorph, metadata={"suite": "gateway"})
+    return root
+
+
+@pytest.fixture(scope="module")
+def pool(registry_dir):
+    pool = ReplicaPool.from_registry(
+        registry_dir,
+        num_replicas=2,
+        max_queue_per_replica=8,
+        batch_wait_seconds=0.001,
+        num_workers=1,
+    )
+    yield pool
+    pool.close()
+
+
+@pytest.fixture(scope="module")
+def gateway(pool):
+    # The response cache is disabled so every request in these tests reaches
+    # the replicas; TestGatewayResponseCache covers the cached path.
+    gateway = DiagnosisGateway(pool, port=0, response_cache_size=0).start()
+    yield gateway
+    gateway.shutdown()
+
+
+def _post(url: str, payload, timeout: float = 60) -> dict:
+    body = payload if isinstance(payload, bytes) else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=60) as response:
+        return json.loads(response.read())
+
+
+class TestGatewayDiagnosis:
+    def test_matches_direct_and_threading_server(
+        self, gateway, registry_dir, fitted_deepmorph, tiny_splits
+    ):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        payload = {"model": "tiny", "inputs": inputs.tolist(), "labels": labels.tolist()}
+
+        via_gateway = _post(gateway.url + "/diagnose", payload)
+
+        service = DiagnosisService(registry_dir, batch_wait_seconds=0.001, num_workers=1)
+        server = DiagnosisHTTPServer(service, port=0).start()
+        try:
+            via_threads = _post(server.url + "/diagnose", payload)
+        finally:
+            server.shutdown()
+            service.close()
+
+        # Bitwise-identical payloads: same artifact, same batch composition,
+        # same extraction pipeline — the front end must not change the answer.
+        assert via_gateway == via_threads
+
+        direct = fitted_deepmorph.diagnose_dataset(test)
+        assert via_gateway["num_cases"] == direct.num_cases
+        for defect, ratio in direct.ratios.items():
+            assert via_gateway["ratios"][defect.value] == pytest.approx(ratio, abs=1e-9)
+        assert via_gateway["dominant_defect"] == direct.dominant_defect.value
+
+    def test_pinned_version_and_repeat_requests(self, gateway, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        payload = {
+            "model": "tiny",
+            "version": "v1",
+            "inputs": inputs.tolist(),
+            "labels": labels.tolist(),
+        }
+        first = _post(gateway.url + "/diagnose", payload)
+        second = _post(gateway.url + "/diagnose", payload)
+        assert first["ratios"] == second["ratios"]
+        assert first["metadata"]["version"] == "v1"
+
+    def test_async_job_roundtrip(self, gateway, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        submitted = _post(gateway.url + "/jobs", {
+            "model": "tiny",
+            "inputs": inputs.tolist(),
+            "labels": labels.tolist(),
+        })
+        assert submitted["status"] == "pending"
+        assert submitted["replica"] in (0, 1)
+        job_id = submitted["job_id"]
+        deadline = time.monotonic() + 30
+        job = {}
+        while time.monotonic() < deadline:
+            job = _get(f"{gateway.url}/jobs/{job_id}")
+            if job["status"] in ("succeeded", "failed"):
+                break
+            time.sleep(0.02)
+        assert job["status"] == "succeeded", job.get("error")
+        assert job["result"]["num_cases"] >= 1
+        listed = _get(gateway.url + "/jobs")["jobs"]
+        assert any(record["job_id"] == job_id for record in listed)
+
+
+class TestGatewayErrorPaths:
+    def test_malformed_json_is_400(self, gateway):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(gateway.url + "/diagnose", b"{this is not json")
+        assert excinfo.value.code == 400
+
+    def test_missing_fields_and_empty_batch_are_400(self, gateway):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(gateway.url + "/diagnose", {"model": "tiny"})
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(gateway.url + "/diagnose", {"model": "tiny", "inputs": [], "labels": []})
+        assert excinfo.value.code == 400
+
+    def test_unknown_model_and_version_are_404(self, gateway, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(gateway.url + "/diagnose", {
+                "model": "ghost", "inputs": inputs.tolist(), "labels": labels.tolist(),
+            })
+        assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(gateway.url + "/diagnose", {
+                "model": "tiny", "version": "v99",
+                "inputs": inputs.tolist(), "labels": labels.tolist(),
+            })
+        assert excinfo.value.code == 404
+
+    def test_unknown_path_and_method(self, gateway):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(gateway.url + "/nope")
+        assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(gateway.url + "/health", {"x": 1})
+        assert excinfo.value.code == 404
+
+    def test_oversized_body_is_413(self, pool, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        small = DiagnosisGateway(pool, port=0, max_body_bytes=64).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(small.url + "/diagnose", {
+                    "model": "tiny", "inputs": inputs.tolist(), "labels": labels.tolist(),
+                })
+            assert excinfo.value.code == 413
+        finally:
+            small.shutdown()
+
+    def test_saturated_pool_sheds_503_with_retry_after(self, gateway, pool, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        leases = [pool.acquire() for _ in range(pool.max_inflight)]
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(gateway.url + "/diagnose", {
+                    "model": "tiny", "inputs": inputs.tolist(), "labels": labels.tolist(),
+                })
+            assert excinfo.value.code == 503
+            assert int(excinfo.value.headers["Retry-After"]) >= 1
+        finally:
+            for lease in leases:
+                lease.release()
+        # Capacity released: the same request is admitted again.
+        report = _post(gateway.url + "/diagnose", {
+            "model": "tiny", "inputs": inputs.tolist(), "labels": labels.tolist(),
+        })
+        assert report["num_cases"] >= 1
+
+
+class TestGatewayIntrospection:
+    def test_health_models_stats(self, gateway):
+        health = _get(gateway.url + "/health")
+        assert health["status"] == "ok"
+        assert "tiny" in health["models"]
+        models = _get(gateway.url + "/models")["models"]
+        assert any(m["name"] == "tiny" and m["version"] == "v1" for m in models)
+        stats = _get(gateway.url + "/stats")
+        assert stats["pool"]["num_replicas"] == 2
+        assert len(stats["pool"]["inflight_per_replica"]) == 2
+        assert stats["gateway"]["requests_total"] >= 1
+
+    def test_metrics_schema(self, gateway, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        _post(gateway.url + "/diagnose", {
+            "model": "tiny", "inputs": inputs.tolist(), "labels": labels.tolist(),
+        })
+        metrics = _get(gateway.url + "/metrics")
+        assert set(metrics) == {"gateway", "pool", "replicas", "aggregate_counters"}
+        assert len(metrics["replicas"]) == 2
+
+        for snapshot in [metrics["gateway"], metrics["pool"], *metrics["replicas"]]:
+            for name, record in snapshot.items():
+                assert record["type"] in ("counter", "gauge", "histogram"), name
+                if record["type"] == "histogram":
+                    assert set(record) >= {"count", "sum", "buckets"}
+                    counts = list(record["buckets"].values())
+                    assert counts == sorted(counts)  # cumulative
+                else:
+                    assert "value" in record
+
+        gw = metrics["gateway"]
+        assert gw["gateway.requests_total"]["value"] >= 1
+        assert gw["gateway.request_seconds"]["count"] >= 1
+        aggregate = metrics["aggregate_counters"]
+        assert aggregate["service.diagnoses_total"] >= 1
+        assert aggregate["engine.requests_total"] >= 1
+
+    def test_metrics_count_sheds(self, gateway, pool, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        before = _get(gateway.url + "/metrics")
+        leases = [pool.acquire() for _ in range(pool.max_inflight)]
+        try:
+            with pytest.raises(urllib.error.HTTPError):
+                _post(gateway.url + "/diagnose", {
+                    "model": "tiny", "inputs": inputs.tolist(), "labels": labels.tolist(),
+                })
+        finally:
+            for lease in leases:
+                lease.release()
+        after = _get(gateway.url + "/metrics")
+        assert (
+            after["gateway"]["gateway.shed_total"]["value"]
+            == before["gateway"]["gateway.shed_total"]["value"] + 1
+        )
+        assert (
+            after["pool"]["pool.shed_total"]["value"]
+            == before["pool"]["pool.shed_total"]["value"] + 1
+        )
+
+
+class TestGatewayResponseCache:
+    def test_repeat_body_hits_and_is_bitwise_identical(self, pool, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        payload = json.dumps({
+            "model": "tiny", "inputs": inputs.tolist(), "labels": labels.tolist(),
+        }).encode("utf-8")
+        gateway = DiagnosisGateway(pool, port=0, response_cache_size=64).start()
+        try:
+            def post_raw(body):
+                request = urllib.request.Request(
+                    gateway.url + "/diagnose", data=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                with urllib.request.urlopen(request, timeout=60) as response:
+                    return response.read(), response.headers.get("X-Response-Cache")
+
+            first, first_state = post_raw(payload)
+            second, second_state = post_raw(payload)
+            assert first_state == "miss"
+            assert second_state == "hit"
+            assert first == second  # bitwise-identical response bytes
+            stats = _get(gateway.url + "/stats")["gateway"]["response_cache"]
+            assert stats["hits"] == 1
+            assert stats["misses"] == 1
+        finally:
+            gateway.shutdown()
+
+    def test_cached_response_served_even_when_pool_is_saturated(self, pool, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        payload = json.dumps({
+            "model": "tiny", "inputs": inputs.tolist(), "labels": labels.tolist(),
+            "metadata": {"probe": "saturation-cache"},
+        }).encode("utf-8")
+        gateway = DiagnosisGateway(pool, port=0, response_cache_size=64).start()
+        try:
+            request = urllib.request.Request(
+                gateway.url + "/diagnose", data=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=60) as response:
+                warm = response.read()
+            leases = [pool.acquire() for _ in range(pool.max_inflight)]
+            try:
+                with urllib.request.urlopen(request, timeout=60) as response:
+                    assert response.read() == warm
+                    assert response.headers.get("X-Response-Cache") == "hit"
+            finally:
+                for lease in leases:
+                    lease.release()
+        finally:
+            gateway.shutdown()
+
+    def test_disabled_cache_reports_off(self, gateway, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        request = urllib.request.Request(
+            gateway.url + "/diagnose",
+            data=json.dumps({
+                "model": "tiny", "inputs": inputs.tolist(), "labels": labels.tolist(),
+            }).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            response.read()
+            assert response.headers.get("X-Response-Cache") == "off"
+
+    def test_expired_entry_is_a_miss(self, pool, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        payload = json.dumps({
+            "model": "tiny", "inputs": inputs.tolist(), "labels": labels.tolist(),
+            "metadata": {"probe": "ttl"},
+        }).encode("utf-8")
+        gateway = DiagnosisGateway(
+            pool, port=0, response_cache_size=64, response_cache_ttl=0.0
+        ).start()
+        try:
+            def post_state(body):
+                request = urllib.request.Request(
+                    gateway.url + "/diagnose", data=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                with urllib.request.urlopen(request, timeout=60) as response:
+                    response.read()
+                    return response.headers.get("X-Response-Cache")
+
+            assert post_state(payload) == "miss"
+            assert post_state(payload) == "miss"  # ttl=0: instantly stale
+        finally:
+            gateway.shutdown()
+
+
+class TestThreadingServerHardening:
+    """The legacy front end's new limits (the bugfix satellite)."""
+
+    def test_oversized_body_is_413_and_next_request_succeeds(self, registry_dir):
+        service = DiagnosisService(registry_dir, batch_wait_seconds=0.001, num_workers=1)
+        server = DiagnosisHTTPServer(service, port=0, max_body_bytes=64).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(server.url + "/diagnose", {"model": "tiny", "inputs": [[0.0] * 64]})
+            assert excinfo.value.code == 413
+            assert _get(server.url + "/health")["status"] == "ok"
+        finally:
+            server.shutdown()
+            service.close()
+
+    def test_metrics_endpoint_on_threading_server(self, registry_dir):
+        service = DiagnosisService(registry_dir, batch_wait_seconds=0.001, num_workers=1)
+        server = DiagnosisHTTPServer(service, port=0).start()
+        try:
+            metrics = _get(server.url + "/metrics")["service"]
+            assert "service.diagnoses_total" in metrics
+            assert metrics["service.diagnoses_total"]["type"] == "counter"
+        finally:
+            server.shutdown()
+            service.close()
+
+    def test_handler_timeout_and_body_cap_configured(self, registry_dir):
+        service = DiagnosisService(registry_dir, batch_wait_seconds=0.001, num_workers=1)
+        server = DiagnosisHTTPServer(
+            service, port=0, socket_timeout=7.5, max_body_bytes=123
+        ).start()
+        try:
+            assert server._server.daemon_threads is True
+            assert server._server.max_body_bytes == 123
+            assert server._server.RequestHandlerClass.timeout == 7.5
+        finally:
+            server.shutdown()
+            service.close()

@@ -12,7 +12,6 @@ import time
 import urllib.error
 import urllib.request
 
-import numpy as np
 import pytest
 
 from repro.serve import ArtifactRegistry, DiagnosisHTTPServer, DiagnosisService

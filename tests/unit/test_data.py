@@ -9,7 +9,6 @@ from repro.data import (
     Subset,
     SyntheticCIFAR,
     SyntheticConfig,
-    SyntheticImageClassification,
     SyntheticMNIST,
     batch_iterator,
     class_counts,

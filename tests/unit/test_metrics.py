@@ -1,0 +1,143 @@
+"""Unit tests for the serving metrics primitives."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serve import Counter, Gauge, Histogram, MetricsRegistry, merge_counters
+from repro.serve.metrics import DEFAULT_SIZE_BUCKETS
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("requests")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_cannot_decrease(self):
+        counter = Counter("requests")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_as_dict(self):
+        counter = Counter("requests", "how many")
+        counter.inc(2)
+        assert counter.as_dict() == {"type": "counter", "description": "how many", "value": 2}
+
+    def test_thread_safety(self):
+        counter = Counter("requests")
+        threads = [
+            threading.Thread(target=lambda: [counter.inc() for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+    def test_as_dict(self):
+        gauge = Gauge("depth", "queue depth")
+        gauge.set(3)
+        assert gauge.as_dict() == {"type": "gauge", "description": "queue depth", "value": 3}
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        histogram = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        record = histogram.as_dict()
+        assert record["count"] == 4
+        assert record["sum"] == pytest.approx(55.55)
+        assert record["min"] == pytest.approx(0.05)
+        assert record["max"] == pytest.approx(50.0)
+        # Cumulative: le=0.1 sees one, le=1.0 two, le=10.0 three; the 50.0
+        # observation lives only in count/sum (the implicit +Inf bucket).
+        assert record["buckets"] == {"0.1": 1, "1.0": 2, "10.0": 3}
+
+    def test_boundary_value_counts_as_le(self):
+        histogram = Histogram("lat", buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        assert histogram.as_dict()["buckets"] == {"1.0": 1, "2.0": 1}
+
+    def test_quantile_estimates_at_bucket_resolution(self):
+        histogram = Histogram("lat", buckets=(1, 2, 4, 8))
+        for value in (0.5, 1.5, 3.0, 6.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 0.0 or histogram.quantile(0.25) == 1
+        assert histogram.quantile(0.5) == 2
+        assert histogram.quantile(1.0) == 8
+
+    def test_quantile_of_overflow_tail_is_observed_max(self):
+        histogram = Histogram("lat", buckets=(1.0,))
+        histogram.observe(9.0)
+        assert histogram.quantile(1.0) == 9.0
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("lat").quantile(0.99) == 0.0
+
+    def test_rejects_bad_buckets_and_quantiles(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("lat", buckets=())
+        with pytest.raises(ConfigurationError):
+            Histogram("lat", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("lat").quantile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a")
+        counter.inc()
+        assert registry.counter("a") is counter
+        assert registry.counter("a").value == 1
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("a")
+
+    def test_namespace_prefixes_names(self):
+        registry = MetricsRegistry(namespace="replica0")
+        registry.counter("requests")
+        assert registry.names() == ["replica0.requests"]
+
+    def test_as_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h", buckets=DEFAULT_SIZE_BUCKETS).observe(3)
+        snapshot = registry.as_dict()
+        assert set(snapshot) == {"c", "g", "h"}
+        assert snapshot["c"]["type"] == "counter"
+        assert snapshot["g"]["value"] == 7
+        assert snapshot["h"]["count"] == 1
+
+
+class TestMergeCounters:
+    def test_sums_counters_and_ignores_other_kinds(self):
+        first = MetricsRegistry()
+        first.counter("requests").inc(3)
+        first.gauge("depth").set(9)
+        second = MetricsRegistry()
+        second.counter("requests").inc(4)
+        second.counter("sheds").inc()
+        merged = merge_counters([first.as_dict(), second.as_dict()])
+        assert merged == {"requests": 7, "sheds": 1}

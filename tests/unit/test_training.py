@@ -5,7 +5,6 @@ import pytest
 
 from repro.data import ArrayDataset
 from repro.exceptions import ConfigurationError, DatasetError
-from repro.models import LeNet
 from repro.optim import Adam, SGD, StepDecay
 from repro.training import (
     EarlyStopping,
