@@ -42,6 +42,9 @@ GATES = {
         "batched_vs_loop_speedup",
         "cache_warm_vs_cold_speedup",
     ],
+    "BENCH_client.json": [
+        "client_vs_raw_efficiency",
+    ],
 }
 
 DEFAULT_TOLERANCE = 0.30

@@ -13,6 +13,7 @@ training set.
 
 
 from repro import DeepMorph, find_faulty_cases
+from repro.api import LocalDiagnoser
 from repro.data import SyntheticMNIST, class_counts
 from repro.defects import InsufficientTrainingData
 from repro.models import LeNet
@@ -36,8 +37,9 @@ def train_and_diagnose(train_data, production_data, tag: str):
 
     morph = DeepMorph(rng=3)
     morph.fit(model, train_data)
-    report = morph.diagnose(faulty_inputs, faulty_labels)
-    print(f"[{tag}] {report.format_row()}  ->  dominant: {report.dominant_defect.value.upper()}")
+    diagnoser = LocalDiagnoser(morph, name="lenet")
+    report = diagnoser.diagnose_arrays(faulty_inputs, faulty_labels)
+    print(f"[{tag}] {report.format_row()}  ->  dominant: {report.dominant_defect.upper()}")
     return report
 
 
@@ -55,7 +57,7 @@ def main() -> None:
 
     report = train_and_diagnose(starved_train, production, tag="starved training set")
 
-    if report is not None and report.dominant_defect.value == "itd":
+    if report is not None and report.dominant_defect == "itd":
         print("\nDeepMorph attributes the bad performance to insufficient training data.")
         print("Following that advice, the developer collects the missing data and retrains:")
         print()

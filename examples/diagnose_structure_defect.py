@@ -13,6 +13,7 @@ the intact architecture.
 
 
 from repro import DeepMorph, find_faulty_cases
+from repro.api import LocalDiagnoser
 from repro.data import SyntheticCIFAR
 from repro.defects import StructureDefect
 from repro.models import ResNet
@@ -33,8 +34,9 @@ def diagnose(model, train_data, production_data, tag: str):
 
     morph = DeepMorph(rng=3)
     morph.fit(model, train_data)
-    report = morph.diagnose(faulty_inputs, faulty_labels)
-    print(f"[{tag}] {report.format_row()}  ->  dominant: {report.dominant_defect.value.upper()}")
+    diagnoser = LocalDiagnoser(morph, name="resnet")
+    report = diagnoser.diagnose_arrays(faulty_inputs, faulty_labels)
+    print(f"[{tag}] {report.format_row()}  ->  dominant: {report.dominant_defect.upper()}")
     print(f"[{tag}] layer-wise probe validation accuracy:")
     for layer, acc in morph.instrumented.probe_validation_accuracies().items():
         print(f"    {layer:14s} {acc:.3f}")

@@ -15,6 +15,7 @@ Run time: well under a minute on a laptop CPU.
 
 
 from repro import DeepMorph, find_faulty_cases
+from repro.api import LocalDiagnoser
 from repro.data import SyntheticMNIST
 from repro.defects import UnreliableTrainingData
 from repro.models import LeNet
@@ -49,12 +50,17 @@ def main() -> None:
 
     morph = DeepMorph(rng=3)
     morph.fit(model, corrupted_train)
-    report = morph.diagnose(faulty_inputs, faulty_labels)
+
+    # The public API: wrap the fitted pipeline in a Diagnoser backend.  The
+    # same call works unchanged against an in-process service
+    # (ServiceDiagnoser) or a repro-serve gateway (RemoteDiagnoser).
+    diagnoser = LocalDiagnoser(morph, name="lenet")
+    report = diagnoser.diagnose_arrays(faulty_inputs, faulty_labels)
 
     print()
     print(report.summary())
     print()
-    verdict = report.dominant_defect.value.upper()
+    verdict = report.dominant_defect.upper()
     print(f"DeepMorph points at {verdict} — "
           f"{'the injected defect' if verdict == 'UTD' else 'see the ratio breakdown above'}.")
 

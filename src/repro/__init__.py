@@ -18,11 +18,15 @@ The package is organized as:
   artifact registry, request batching that coalesces concurrent diagnoses
   into vectorized footprint extraction, an LRU footprint cache, an async
   job queue, and a JSON-over-HTTP front end (``repro-serve``).
+* :mod:`repro.api` — the versioned public API: the ``v1``
+  ``DiagnosisRequest``/``DiagnosisReport`` schema (shared with the serving
+  wire protocol), the consolidated ``DiagnoserConfig``, and the ``Diagnoser``
+  interface with interchangeable local / in-process / remote backends.
 * :mod:`repro.experiments` — the Table I reproduction harness.
 * :mod:`repro.cli` — command-line entry points.
 """
 
-from . import analysis, data, defects, models, nn, optim, serve, training
+from . import analysis, api, data, defects, models, nn, optim, serve, training
 from .core import (
     DeepMorph,
     DefectCaseClassifier,
@@ -51,10 +55,15 @@ from .exceptions import (
     DatasetError,
     DefectInjectionError,
     ExperimentError,
+    NoFaultyCasesError,
     NotFittedError,
+    PayloadTooLargeError,
+    RemoteTransportError,
     ReproError,
+    SchemaVersionError,
     SerializationError,
     ServeError,
+    ServiceSaturatedError,
     ShapeError,
 )
 from .rng import ensure_rng, seed_everything
@@ -72,6 +81,7 @@ __all__ = [
     "defects",
     "analysis",
     "serve",
+    "api",
     # DeepMorph core
     "DeepMorph",
     "find_faulty_cases",
@@ -101,8 +111,13 @@ __all__ = [
     "DefectInjectionError",
     "SerializationError",
     "ExperimentError",
+    "SchemaVersionError",
+    "NoFaultyCasesError",
     "ServeError",
     "ArtifactNotFoundError",
+    "PayloadTooLargeError",
+    "ServiceSaturatedError",
+    "RemoteTransportError",
     # rng
     "ensure_rng",
     "seed_everything",

@@ -1,0 +1,226 @@
+"""``RemoteDiagnoser``: the HTTP client backend for a ``repro-serve`` gateway.
+
+A thin, dependency-free (stdlib ``http.client``) counterpart of the serving
+front ends:
+
+* **keep-alive** — one persistent connection per diagnoser, re-established
+  transparently when the server closes it;
+* **bounded retries** — transport failures back off exponentially, and 503
+  responses honor the server's ``Retry-After`` hint (capped by
+  ``DiagnoserConfig.retry_after_cap_seconds``) before the typed
+  :class:`~repro.exceptions.ServiceSaturatedError` is surfaced;
+* **typed errors** — every non-200 response is mapped back onto the
+  :mod:`repro.exceptions` hierarchy via
+  :func:`~repro.exceptions.exception_from_wire`, so remote callers catch the
+  same exception classes embedded callers do;
+* **cache visibility** — the gateway's ``X-Response-Cache`` header is
+  surfaced as :attr:`DiagnosisReport.cache_state`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from typing import Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+from ..exceptions import (
+    ConfigurationError,
+    RemoteTransportError,
+    exception_from_wire,
+)
+from .config import DiagnoserConfig
+from .diagnoser import Diagnoser
+from .schema import DiagnosisReport, DiagnosisRequest, JsonDict
+
+__all__ = ["RemoteDiagnoser"]
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None
+
+
+class RemoteDiagnoser(Diagnoser):
+    """Diagnose against a remote ``repro-serve`` front end (gateway or threading).
+
+    Parameters
+    ----------
+    url:
+        Base URL of the server, e.g. ``"http://127.0.0.1:8421"``.
+    config:
+        Shared :class:`DiagnoserConfig`; the remote-client knobs
+        (``read_timeout``, ``max_retries``, ``retry_backoff_seconds``,
+        ``retry_after_cap_seconds``) apply here.
+    default_model:
+        Model name used when a convenience call omits ``model=``.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        config: Optional[DiagnoserConfig] = None,
+        default_model: Optional[str] = None,
+    ) -> None:
+        parts = urlsplit(url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ConfigurationError(
+                f"RemoteDiagnoser needs an http://host[:port] URL, got {url!r}"
+            )
+        if parts.path not in ("", "/") or parts.query or parts.fragment:
+            # Silently dropping a path prefix would send every request to the
+            # wrong endpoint behind a path-routing proxy; refuse loudly.
+            raise ConfigurationError(
+                f"RemoteDiagnoser takes a bare base URL (no path/query), got {url!r}"
+            )
+        self.config = config if config is not None else DiagnoserConfig()
+        self.default_model = default_model
+        self.host: str = parts.hostname
+        self.port: int = parts.port if parts.port is not None else 80
+        self._lock = threading.Lock()
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- transport ----------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.config.read_timeout
+            )
+        return self._connection
+
+    def _reset_connection(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except OSError:  # pragma: no cover - close() of a dead socket
+                pass
+            self._connection = None
+
+    def _roundtrip(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One request over the keep-alive connection; raises on transport failure."""
+        connection = self._connect()
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        payload = response.read()
+        header_map = {name.lower(): value for name, value in response.getheaders()}
+        if header_map.get("connection", "").lower() == "close":
+            self._reset_connection()
+        return response.status, header_map, payload
+
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, Dict[str, str], JsonDict]:
+        """Issue one HTTP request with bounded retries.
+
+        Transport failures (connection refused/reset, protocol errors) retry
+        with exponential backoff; 503 responses retry after the server's
+        ``Retry-After`` hint.  Both budgets share ``config.max_retries``.
+        """
+        attempts = int(self.config.max_retries) + 1
+        last_error: Optional[Exception] = None
+        with self._lock:
+            for attempt in range(attempts):
+                try:
+                    status, headers, payload = self._roundtrip(method, path, body)
+                except (OSError, http.client.HTTPException) as error:
+                    self._reset_connection()
+                    last_error = error
+                    if attempt + 1 < attempts:
+                        time.sleep(self.config.retry_backoff_seconds * (2 ** attempt))
+                        continue
+                    raise RemoteTransportError(
+                        f"{method} {self.url}{path} failed after {attempts} attempt(s): "
+                        f"{type(error).__name__}: {error}"
+                    ) from error
+                if status == 503 and attempt + 1 < attempts:
+                    retry_after = _parse_retry_after(headers.get("retry-after"))
+                    delay = min(
+                        retry_after if retry_after is not None
+                        else self.config.retry_backoff_seconds,
+                        self.config.retry_after_cap_seconds,
+                    )
+                    time.sleep(delay)
+                    continue
+                return status, headers, self._decode(payload)
+        raise RemoteTransportError(
+            f"{method} {self.url}{path} failed: {last_error}"
+        )  # pragma: no cover - loop always returns or raises
+
+    @staticmethod
+    def _decode(payload: bytes) -> JsonDict:
+        try:
+            decoded = json.loads(payload.decode("utf-8")) if payload else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RemoteTransportError(f"undecodable response body: {error}") from error
+        if not isinstance(decoded, dict):
+            raise RemoteTransportError("response body must be a JSON object")
+        return decoded
+
+    @staticmethod
+    def _raise_for_error(status: int, headers: Dict[str, str], payload: JsonDict) -> None:
+        message = str(payload.get("error", f"HTTP {status}"))
+        error_type = payload.get("error_type")
+        raise exception_from_wire(
+            status,
+            message,
+            error_type=error_type if isinstance(error_type, str) else None,
+            retry_after=_parse_retry_after(headers.get("retry-after")),
+        )
+
+    # -- the Diagnoser surface -----------------------------------------------------
+
+    def _diagnose(self, request: DiagnosisRequest) -> DiagnosisReport:
+        body = json.dumps(request.to_dict()).encode("utf-8")
+        status, headers, payload = self._request("POST", "/diagnose", body)
+        if status != 200:
+            self._raise_for_error(status, headers, payload)
+        return DiagnosisReport.from_dict(
+            payload, cache_state=headers.get("x-response-cache")
+        )
+
+    # -- server introspection -------------------------------------------------------
+
+    def _get(self, path: str) -> JsonDict:
+        status, headers, payload = self._request("GET", path)
+        if status != 200:
+            self._raise_for_error(status, headers, payload)
+        return payload
+
+    def health(self) -> JsonDict:
+        """The server's ``GET /health`` document."""
+        return self._get("/health")
+
+    def models(self) -> JsonDict:
+        """The server's ``GET /models`` document (registered artifact records)."""
+        return self._get("/models")
+
+    def stats(self) -> JsonDict:
+        """The server's ``GET /stats`` document."""
+        return self._get("/stats")
+
+    def metrics(self) -> JsonDict:
+        """The server's ``GET /metrics`` document."""
+        return self._get("/metrics")
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._reset_connection()
+
+    def __repr__(self) -> str:
+        return f"RemoteDiagnoser(url={self.url!r}, default_model={self.default_model!r})"

@@ -1,11 +1,17 @@
-"""``repro-diagnose``: diagnose a previously saved model on fresh production data."""
+"""``repro-diagnose``: diagnose a previously saved model on fresh production data.
+
+Rebased on the :mod:`repro.api` facade: the pipeline knobs come from a
+:class:`~repro.api.DiagnoserConfig` and the diagnosis runs through a
+:class:`~repro.api.LocalDiagnoser`, so the CLI exercises exactly the public
+surface (and report schema) a library caller or a remote client sees.
+"""
 
 from __future__ import annotations
 
 import argparse
 from typing import Optional, Sequence
 
-from ..core import DeepMorph
+from ..api import DiagnoserConfig, LocalDiagnoser
 from ..experiments.runner import make_dataset
 from ..serialize import load_model, save_report
 from ..training import evaluate
@@ -38,9 +44,10 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"loaded {model.kind} ({model.num_parameters()} parameters), "
           f"production accuracy {accuracy:.3f}")
 
-    morph = DeepMorph(probe_epochs=settings.probe_epochs, rng=settings.seed)
-    morph.fit(model, train_data)
-    report = morph.diagnose_dataset(test_data, metadata={"model": model.kind})
+    config = DiagnoserConfig(probe_epochs=settings.probe_epochs)
+    morph = config.build_deepmorph(rng=settings.seed).fit(model, train_data)
+    with LocalDiagnoser(morph, name=model.kind, config=config) as diagnoser:
+        report = diagnoser.diagnose_dataset(test_data, metadata={"model": model.kind})
     print(report.summary())
     if args.report:
         path = save_report(report, args.report)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 from typing import Optional, Sequence
 
+from ..api import DiagnoserConfig
 from ..serve import (
     ArtifactRegistry,
     DiagnosisService,
@@ -93,7 +94,6 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _bootstrap_demo(registry: ArtifactRegistry, args: argparse.Namespace) -> None:
-    from ..core import DeepMorph
     from ..experiments.runner import make_dataset, make_model, train_model
 
     settings = settings_from_args(args)
@@ -101,7 +101,9 @@ def _bootstrap_demo(registry: ArtifactRegistry, args: argparse.Namespace) -> Non
     _, train_data, _ = make_dataset(settings)
     model = make_model(settings)
     train_model(model, train_data, settings)
-    morph = DeepMorph(probe_epochs=settings.probe_epochs, rng=settings.seed)
+    morph = DiagnoserConfig(probe_epochs=settings.probe_epochs).build_deepmorph(
+        rng=settings.seed
+    )
     morph.fit(model, train_data)
     record = registry.register(
         DEMO_MODEL_NAME, morph,
@@ -127,13 +129,17 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
                   f"classes={record.num_classes}  {record.path}")
         return 0
 
-    service_kwargs = dict(
+    # One consolidated config object: the flags project onto the same
+    # DiagnoserConfig every repro.api backend uses, so the served pipeline
+    # and an embedded LocalDiagnoser run with identical knobs.
+    config = DiagnoserConfig(
         max_batch_cases=args.max_batch_cases,
         batch_wait_seconds=args.batch_wait,
         cache_size=args.cache_size,
         num_workers=args.workers,
         inference_dtype=args.inference_dtype,
     )
+    service_kwargs = config.service_kwargs()
 
     if args.async_gateway:
         pool = ReplicaPool.from_registry(

@@ -356,22 +356,16 @@ class DefectReport:
         return float(self.ratios.get(defect, 0.0))
 
     def as_dict(self) -> Dict:
-        """JSON-friendly representation (omits per-case verdict details)."""
-        payload = {
-            "num_cases": self.num_cases,
-            "ratios": {k.value: v for k, v in self.ratios.items()},
-            "counts": {k.value: v for k, v in self.counts.items()},
-            "dominant_defect": self.dominant_defect.value,
-            "metadata": dict(self.metadata),
-        }
-        if self.context is not None:
-            payload["context"] = {
-                "error_concentration": self.context.error_concentration,
-                "pattern_overlap": self.context.pattern_overlap,
-                "feature_quality": self.context.feature_quality,
-                "training_inconsistency": self.context.training_inconsistency,
-            }
-        return payload
+        """JSON-friendly representation (omits per-case verdict details).
+
+        Delegates to the canonical ``v1`` schema of
+        :class:`repro.api.schema.DiagnosisReport`, so this dict IS the wire
+        document the serving front ends emit.  (Imported lazily: the api
+        package depends on this module.)
+        """
+        from ..api.schema import DiagnosisReport
+
+        return DiagnosisReport.from_defect_report(self).to_dict()
 
     def format_row(self) -> str:
         """The report as a Table-I-style row: ``ITD  UTD  SD`` ratios."""

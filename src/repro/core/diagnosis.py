@@ -14,7 +14,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.dataset import ArrayDataset, Dataset
-from ..exceptions import ConfigurationError, DatasetError, NotFittedError
+from ..exceptions import (
+    ConfigurationError,
+    DatasetError,
+    NoFaultyCasesError,
+    NotFittedError,
+)
 from ..models.base import ClassifierModel
 from ..nn.dtype import compute_dtype, policy_float
 from ..rng import RngLike, ensure_rng, spawn
@@ -97,6 +102,11 @@ class DeepMorph:
         morph.fit(model, train_data)
         report = morph.diagnose_dataset(production_data)
         print(report.summary())
+
+    This class is the diagnosis *engine*; the stable public surface is
+    :mod:`repro.api` — wrap a fitted instance in
+    :class:`repro.api.LocalDiagnoser` to get the versioned
+    request/report schema and interchangeable local/service/remote backends.
 
     Parameters
     ----------
@@ -229,7 +239,7 @@ class DeepMorph:
         # Only genuinely misclassified cases are evidence of a defect.
         faulty_footprints = [fp for fp in footprints if fp.is_misclassified]
         if not faulty_footprints:
-            raise ConfigurationError(
+            raise NoFaultyCasesError(
                 "none of the supplied cases is misclassified by the model; nothing to diagnose"
             )
         specifics = self.compute_specifics(faulty_footprints)

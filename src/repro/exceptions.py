@@ -3,9 +3,38 @@
 Every error raised intentionally by the library derives from
 :class:`ReproError`, so callers can distinguish library failures from
 programming mistakes with a single ``except`` clause.
+
+This module is also the single place where the serving wire protocol's error
+responses map back onto typed exceptions: HTTP front ends serialize an error
+as ``{"error": <message>, "error_type": <class name>}`` plus a status code
+(see :func:`repro.serve.protocol.error_response`), and clients rebuild the
+original exception class with :func:`exception_from_wire`.  Keeping both
+directions anchored on this hierarchy means a remote caller catches exactly
+the same exception types an embedded caller does.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "ConfigurationError",
+    "NotFittedError",
+    "DatasetError",
+    "DefectInjectionError",
+    "SerializationError",
+    "ExperimentError",
+    "SchemaVersionError",
+    "NoFaultyCasesError",
+    "ServeError",
+    "ArtifactNotFoundError",
+    "PayloadTooLargeError",
+    "ServiceSaturatedError",
+    "RemoteTransportError",
+    "exception_from_wire",
+]
 
 
 class ReproError(Exception):
@@ -49,6 +78,21 @@ class ExperimentError(ReproError, RuntimeError):
     """An experiment harness failed to produce a result."""
 
 
+class SchemaVersionError(ReproError, ValueError):
+    """A request/report payload declares a schema version this library does not speak."""
+
+
+class NoFaultyCasesError(ConfigurationError):
+    """None of the submitted production cases is misclassified by the model.
+
+    A defect diagnosis needs misclassifications as evidence; a batch with no
+    faulty cases has nothing to diagnose.  Subclasses
+    :class:`ConfigurationError`, so pre-existing handlers keep working, while
+    streaming callers (``Diagnoser.diagnose_iter``) can skip clean batches by
+    catching this type specifically.
+    """
+
+
 class ServeError(ReproError, RuntimeError):
     """The diagnosis service layer failed (bad request, shut-down engine, ...)."""
 
@@ -71,3 +115,50 @@ class ServiceSaturatedError(ServeError):
     def __init__(self, message: str, retry_after: float = 1.0):
         super().__init__(message)
         self.retry_after = float(retry_after)
+
+
+class RemoteTransportError(ServeError):
+    """A remote diagnosis backend could not be reached (after bounded retries)."""
+
+
+#: HTTP status -> exception class used when a response carries no (or an
+#: unknown) ``error_type``.  Covers every error status the front ends emit
+#: for exception-derived failures.
+_STATUS_FALLBACK: Dict[int, Type[ReproError]] = {
+    400: ServeError,
+    404: ArtifactNotFoundError,
+    408: RemoteTransportError,
+    413: PayloadTooLargeError,
+    503: ServiceSaturatedError,
+}
+
+
+def _wire_classes() -> Dict[str, Type[ReproError]]:
+    registry: Dict[str, Type[ReproError]] = {}
+    for name in __all__:
+        candidate = globals().get(name)
+        if isinstance(candidate, type) and issubclass(candidate, ReproError):
+            registry[name] = candidate
+    return registry
+
+
+def exception_from_wire(
+    status: int,
+    message: str,
+    error_type: Optional[str] = None,
+    retry_after: Optional[float] = None,
+) -> ReproError:
+    """Rebuild the typed exception behind one HTTP error response.
+
+    ``error_type`` is the class name the server put in the response payload;
+    when absent (older servers, proxy-generated bodies) the status code picks
+    a sensible fallback.  Only classes of this hierarchy are ever constructed
+    — a hostile or corrupted ``error_type`` degrades to the status fallback
+    instead of resolving arbitrary names.
+    """
+    cls = _wire_classes().get(error_type or "")
+    if cls is None:
+        cls = _STATUS_FALLBACK.get(int(status), ServeError)
+    if issubclass(cls, ServiceSaturatedError):
+        return cls(message, retry_after=retry_after if retry_after is not None else 1.0)
+    return cls(message)

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 
-from ..core import DeepMorph, DefectClassifierConfig, DefectReport, find_faulty_cases
+from ..api.config import DiagnoserConfig
+from ..core import DefectClassifierConfig, DefectReport, find_faulty_cases
 from ..data.dataset import ArrayDataset
 from ..data.synthetic import SyntheticCIFAR, SyntheticImageClassification, SyntheticMNIST
 from ..defects import (
@@ -220,10 +221,13 @@ def run_cell(
     report: Optional[DefectReport] = None
     extras: Dict = {}
     if num_faulty > 0:
-        morph = DeepMorph(
+        # The pipeline knobs come from the consolidated repro.api config, so
+        # an experiment cell and a served artifact are built identically.
+        morph = DiagnoserConfig(
             probe_epochs=settings.probe_epochs,
             classifier_config=classifier_config,
-            rng=derive_seed(settings.seed, "deepmorph", settings.model, defect.value),
+        ).build_deepmorph(
+            rng=derive_seed(settings.seed, "deepmorph", settings.model, defect.value)
         )
         morph.fit(model, effective_train)
         report = morph.diagnose(

@@ -42,15 +42,10 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Sequence, Tuple, Union
 
-from ..exceptions import (
-    ArtifactNotFoundError,
-    ReproError,
-    ServeError,
-    ServiceSaturatedError,
-)
+from ..exceptions import ServeError, ServiceSaturatedError
 from .cache import LRUCache
 from .metrics import MetricsRegistry
-from .protocol import diagnosis_args, parse_json_body
+from .protocol import error_response, parse_diagnosis_request, parse_json_body
 from .replicas import ReplicaPool
 
 __all__ = ["ParsedRequest", "parse_request_head", "DiagnosisGateway", "serve_gateway_forever"]
@@ -399,16 +394,10 @@ class DiagnosisGateway:
             if request.method == "POST":
                 return await self._dispatch_post(path, body)
             return 405, {"error": f"method {request.method} not allowed"}, ()
-        except ServiceSaturatedError as error:
-            self._m_shed.inc()
-            retry_after = max(1, int(round(error.retry_after)))
-            return 503, {"error": str(error)}, (("Retry-After", str(retry_after)),)
-        except ArtifactNotFoundError as error:
-            return 404, {"error": f"unknown model: {error.args[0]}"}, ()
-        except (ServeError, ReproError, ValueError) as error:
-            return 400, {"error": f"{type(error).__name__}: {error}"}, ()
-        except Exception as error:  # noqa: BLE001 - surface as a 500, keep serving
-            return 500, {"error": f"{type(error).__name__}: {error}"}, ()
+        except Exception as error:  # noqa: BLE001 - mapped to a status, keep serving
+            if isinstance(error, ServiceSaturatedError):
+                self._m_shed.inc()
+            return error_response(error)
 
     async def _dispatch_get(self, path: str) -> Tuple[int, Dict, Sequence[Tuple[str, str]]]:
         if path == "/health":
@@ -487,34 +476,34 @@ class DiagnosisGateway:
         self, lease, body: bytes
     ) -> Tuple[int, Dict, Sequence[Tuple[str, str]]]:
         try:
-            name, inputs, labels, version, metadata = diagnosis_args(parse_json_body(body))
+            request = parse_diagnosis_request(parse_json_body(body))
             report = lease.service.diagnose_dict(
-                name, inputs, labels, version=version, metadata=metadata
+                request.model,
+                request.inputs,
+                request.labels,
+                version=request.version,
+                metadata=request.metadata,
             )
             return 200, report, ()
-        except ArtifactNotFoundError as error:
-            return 404, {"error": f"unknown model: {error.args[0]}"}, ()
-        except (ServeError, ReproError, ValueError) as error:
-            return 400, {"error": f"{type(error).__name__}: {error}"}, ()
-        except Exception as error:  # noqa: BLE001 - surface as a 500, keep serving
-            return 500, {"error": f"{type(error).__name__}: {error}"}, ()
+        except Exception as error:  # noqa: BLE001 - mapped to a status, keep serving
+            return error_response(error)
         finally:
             lease.release()
 
     def _submit_job_blocking(self, body: bytes) -> Tuple[int, Dict, Sequence[Tuple[str, str]]]:
         try:
-            name, inputs, labels, version, metadata = diagnosis_args(parse_json_body(body))
+            request = parse_diagnosis_request(parse_json_body(body))
             replica_index, job = self.pool.submit_job(
-                name, inputs, labels, version=version, metadata=metadata
+                request.model,
+                request.inputs,
+                request.labels,
+                version=request.version,
+                metadata=request.metadata,
             )
             payload = {"job_id": job.job_id, "status": job.status, "replica": replica_index}
             return 202, payload, ()
-        except ArtifactNotFoundError as error:
-            return 404, {"error": f"unknown model: {error.args[0]}"}, ()
-        except (ServeError, ReproError, ValueError) as error:
-            return 400, {"error": f"{type(error).__name__}: {error}"}, ()
-        except Exception as error:  # noqa: BLE001 - surface as a 500, keep serving
-            return 500, {"error": f"{type(error).__name__}: {error}"}, ()
+        except Exception as error:  # noqa: BLE001 - mapped to a status, keep serving
+            return error_response(error)
 
     # -- payload builders -------------------------------------------------------------
 

@@ -32,8 +32,8 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional
 
-from ..exceptions import ArtifactNotFoundError, PayloadTooLargeError, ReproError, ServeError
-from .protocol import diagnosis_args, parse_json_body
+from ..exceptions import PayloadTooLargeError, ServeError
+from .protocol import error_response, parse_diagnosis_request, parse_json_body
 from .service import DiagnosisService
 
 __all__ = ["DiagnosisHTTPServer", "serve_forever"]
@@ -70,17 +70,27 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_error_json(self, message: str, status: int) -> None:
+        self._send_error_payload({"error": message}, status)
+
+    def _send_error_payload(self, payload: Dict, status: int, extra_headers=()) -> None:
         # Error paths may not have drained the request body; under HTTP/1.1
         # keep-alive the unread bytes would be parsed as the next request
         # line, desynchronizing the connection.  Close it instead.
         self.close_connection = True
         self.send_response(status)
-        body = json.dumps({"error": message}).encode("utf-8")
+        body = json.dumps(payload).encode("utf-8")
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self.send_header("Connection", "close")
+        for name, value in extra_headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_exception(self, error: BaseException) -> None:
+        """Map an exception through the shared protocol table and send it."""
+        status, payload, extra_headers = error_response(error)
+        self._send_error_payload(payload, status, extra_headers)
 
     def _read_json_body(self) -> Dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -92,8 +102,9 @@ class _Handler(BaseHTTPRequestHandler):
         return parse_json_body(self.rfile.read(length))
 
     #: Shared with the asyncio gateway (repro.serve.protocol) so the two
-    #: front ends cannot drift apart on the request schema.
-    _diagnosis_args = staticmethod(diagnosis_args)
+    #: front ends cannot drift apart on the request schema — both parse the
+    #: v1 DiagnosisRequest document of repro.api.schema.
+    _parse_request = staticmethod(parse_diagnosis_request)
 
     # -- routes -------------------------------------------------------------------
 
@@ -125,29 +136,29 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             path = self.path.split("?", 1)[0].rstrip("/")
             if path == "/diagnose":
-                payload = self._read_json_body()
-                name, inputs, labels, version, metadata = self._diagnosis_args(payload)
+                request = self._parse_request(self._read_json_body())
                 report = self.service.diagnose_dict(
-                    name, inputs, labels, version=version, metadata=metadata
+                    request.model,
+                    request.inputs,
+                    request.labels,
+                    version=request.version,
+                    metadata=request.metadata,
                 )
                 self._send_json(report)
             elif path == "/jobs":
-                payload = self._read_json_body()
-                name, inputs, labels, version, metadata = self._diagnosis_args(payload)
+                request = self._parse_request(self._read_json_body())
                 job = self.service.submit_diagnosis(
-                    name, inputs, labels, version=version, metadata=metadata
+                    request.model,
+                    request.inputs,
+                    request.labels,
+                    version=request.version,
+                    metadata=request.metadata,
                 )
                 self._send_json({"job_id": job.job_id, "status": job.status}, status=202)
             else:
                 self._send_error_json(f"unknown path {path!r}", 404)
-        except ArtifactNotFoundError as error:
-            self._send_error_json(f"unknown model: {error.args[0]}", 404)
-        except PayloadTooLargeError as error:
-            self._send_error_json(str(error), 413)
-        except (ServeError, ReproError, ValueError) as error:
-            self._send_error_json(f"{type(error).__name__}: {error}", 400)
-        except Exception as error:  # noqa: BLE001 - surface as a 500, keep serving
-            self._send_error_json(f"{type(error).__name__}: {error}", 500)
+        except Exception as error:  # noqa: BLE001 - mapped to a status, keep serving
+            self._send_exception(error)
 
 
 class DiagnosisHTTPServer:

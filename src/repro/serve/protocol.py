@@ -1,21 +1,42 @@
-"""Request-schema validation shared by both HTTP front ends.
+"""Wire protocol shared by both HTTP front ends.
 
 The thread-per-connection server (:mod:`repro.serve.http`) and the asyncio
 gateway (:mod:`repro.serve.gateway`) accept the same ``/diagnose`` and
-``/jobs`` body schema.  Keeping the parsing and field validation here — one
-implementation, two importers — is what keeps the gateway's endpoint surface
-a strict superset of the legacy server's: a schema change lands in both front
-ends or in neither.
+``/jobs`` body schema and emit the same error documents.  Both halves are
+derived from single sources:
+
+* request parsing is :meth:`repro.api.schema.DiagnosisRequest.from_dict` —
+  the wire format *is* the library's ``v1`` schema, so a schema change lands
+  in both front ends and every client at once;
+* error responses come from :func:`error_response`, the one place an
+  exception is mapped to a status code, an ``{"error", "error_type"}``
+  payload, and transport headers (``Retry-After``).  Clients invert the
+  mapping with :func:`repro.exceptions.exception_from_wire`.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..exceptions import ServeError
+from ..api.schema import DiagnosisRequest
+from ..exceptions import (
+    ArtifactNotFoundError,
+    PayloadTooLargeError,
+    ReproError,
+    ServeError,
+    ServiceSaturatedError,
+)
 
-__all__ = ["parse_json_body", "diagnosis_args"]
+__all__ = [
+    "parse_json_body",
+    "parse_diagnosis_request",
+    "diagnosis_args",
+    "error_status",
+    "error_response",
+]
+
+Headers = Sequence[Tuple[str, str]]
 
 
 def parse_json_body(raw: bytes) -> Dict:
@@ -31,24 +52,50 @@ def parse_json_body(raw: bytes) -> Dict:
     return payload
 
 
-def diagnosis_args(payload: Dict) -> Tuple[str, list, list, Optional[str], Optional[Dict]]:
-    """Validate and unpack a diagnosis request body.
+def parse_diagnosis_request(payload: Dict) -> DiagnosisRequest:
+    """Validate a diagnosis request body against the ``v1`` schema."""
+    return DiagnosisRequest.from_dict(payload)
 
-    Returns ``(model, inputs, labels, version, metadata)``; raises
-    :class:`~repro.exceptions.ServeError` on any schema violation.
+
+def diagnosis_args(payload: Dict) -> Tuple[str, list, list, Optional[str], Optional[Dict]]:
+    """Deprecated shim: unpack a request body as a plain tuple.
+
+    Kept for callers written against the pre-``repro.api`` protocol; new code
+    should use :func:`parse_diagnosis_request` and work with the typed
+    :class:`~repro.api.schema.DiagnosisRequest`.
     """
-    try:
-        name = payload["model"]
-        inputs = payload["inputs"]
-        labels = payload["labels"]
-    except KeyError as error:
-        raise ServeError(f"missing required field {error.args[0]!r}") from error
-    if not isinstance(name, str):
-        raise ServeError("'model' must be a string")
-    version = payload.get("version")
-    if version is not None and not isinstance(version, str):
-        raise ServeError("'version' must be a string when given")
-    metadata = payload.get("metadata")
-    if metadata is not None and not isinstance(metadata, dict):
-        raise ServeError("'metadata' must be an object when given")
-    return name, inputs, labels, version, metadata
+    request = parse_diagnosis_request(payload)
+    return request.model, request.inputs, request.labels, request.version, request.metadata
+
+
+def error_status(error: BaseException) -> int:
+    """The HTTP status both front ends use for ``error`` (the single mapping)."""
+    if isinstance(error, ServiceSaturatedError):
+        return 503
+    if isinstance(error, ArtifactNotFoundError):
+        return 404
+    if isinstance(error, PayloadTooLargeError):
+        return 413
+    if isinstance(error, (ServeError, ReproError, ValueError)):
+        return 400
+    return 500
+
+
+def error_response(error: BaseException) -> Tuple[int, Dict, Headers]:
+    """``(status, payload, extra_headers)`` for one server-side exception.
+
+    The payload carries ``error_type`` so clients can rebuild the typed
+    exception; saturation responses carry ``Retry-After``.
+    """
+    status = error_status(error)
+    if isinstance(error, ArtifactNotFoundError):
+        message = f"unknown model: {error.args[0] if error.args else error}"
+    elif isinstance(error, (ServiceSaturatedError, PayloadTooLargeError)):
+        message = str(error)
+    else:
+        message = f"{type(error).__name__}: {error}"
+    payload = {"error": message, "error_type": type(error).__name__}
+    headers: List[Tuple[str, str]] = []
+    if isinstance(error, ServiceSaturatedError):
+        headers.append(("Retry-After", str(max(1, int(round(error.retry_after))))))
+    return status, payload, tuple(headers)

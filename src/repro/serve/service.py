@@ -34,11 +34,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api.schema import validate_arrays
 from ..core.classifier import DefectReport
 from ..core.diagnosis import DeepMorph
 from ..core.footprint import FootprintExtractor
 from ..core.specifics import compute_specifics_batch
-from ..exceptions import ConfigurationError, ServeError
+from ..exceptions import NoFaultyCasesError, ServeError
 from ..nn.dtype import resolve_dtype
 from .batching import BatchingEngine
 from .cache import FootprintCache
@@ -229,22 +230,10 @@ class DiagnosisService:
 
     # -- diagnosis ----------------------------------------------------------------
 
-    @staticmethod
-    def _validate_request(inputs, labels) -> Tuple[np.ndarray, np.ndarray]:
-        inputs = np.asarray(inputs, dtype=np.float64)
-        labels = np.asarray(labels)
-        if inputs.ndim < 2:
-            raise ConfigurationError(
-                f"inputs must be a batch of examples (ndim >= 2), got shape {inputs.shape}"
-            )
-        if inputs.shape[0] == 0:
-            raise ConfigurationError("cannot diagnose an empty batch of production cases")
-        if labels.ndim != 1 or labels.shape[0] != inputs.shape[0]:
-            raise ConfigurationError(
-                f"labels must be 1-D with one entry per input, got shape {labels.shape} "
-                f"for {inputs.shape[0]} inputs"
-            )
-        return inputs, labels.astype(np.int64)
+    #: Shared with every repro.api backend (and thus the wire protocol), so
+    #: the accepted shapes and rejection messages cannot drift between the
+    #: embedded and served paths.
+    _validate_request = staticmethod(validate_arrays)
 
     def diagnose(
         self,
@@ -295,7 +284,7 @@ class DiagnosisService:
         footprints = entry.extractor.from_arrays(trajectories, final_probs, labels)
         faulty = [fp for fp in footprints if fp.is_misclassified]
         if not faulty:
-            raise ConfigurationError(
+            raise NoFaultyCasesError(
                 "none of the supplied cases is misclassified by the model; nothing to diagnose"
             )
         # Batched diagnosis core: one stacked specifics computation for the
@@ -317,7 +306,13 @@ class DiagnosisService:
         return entry.morph.case_classifier.aggregate(specifics, context=context, metadata=meta)
 
     def diagnose_dict(self, name: str, inputs, labels, **kwargs) -> Dict:
-        """JSON-friendly variant of :meth:`diagnose` (used by HTTP and jobs)."""
+        """JSON-friendly variant of :meth:`diagnose` (used by HTTP and jobs).
+
+        The returned document is the ``v1`` schema of
+        :class:`repro.api.schema.DiagnosisReport` (``DefectReport.as_dict``
+        delegates to it), so the wire format and the library format are one.
+        Prefer :class:`repro.api.ServiceDiagnoser` in new code.
+        """
         return self.diagnose(name, inputs, labels, **kwargs).as_dict()
 
     def submit_diagnosis(

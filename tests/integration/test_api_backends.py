@@ -1,0 +1,344 @@
+"""Three-way backend parity and behavior tests for the repro.api facade.
+
+The acceptance bar of the API redesign: :class:`LocalDiagnoser`,
+:class:`ServiceDiagnoser`, and :class:`RemoteDiagnoser` must return
+**bitwise-identical** ``v1`` reports for the same artifact and inputs, while
+the pre-facade entry points (``DeepMorph.diagnose``,
+``DiagnosisService.diagnose_dict``) stay green as shims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    DiagnoserConfig,
+    DiagnosisRequest,
+    LocalDiagnoser,
+    RemoteDiagnoser,
+    ServiceDiagnoser,
+)
+from repro.exceptions import (
+    ArtifactNotFoundError,
+    ConfigurationError,
+    NoFaultyCasesError,
+    RemoteTransportError,
+    SchemaVersionError,
+    ServiceSaturatedError,
+)
+from repro.serve import ArtifactRegistry, DiagnosisGateway, DiagnosisService, ReplicaPool
+
+
+@pytest.fixture(scope="module")
+def registry_dir(tmp_path_factory, fitted_deepmorph):
+    root = tmp_path_factory.mktemp("api_registry")
+    registry = ArtifactRegistry(root)
+    registry.register("tiny", fitted_deepmorph, metadata={"suite": "api"})
+    return root
+
+
+@pytest.fixture(scope="module")
+def local_diagnoser(registry_dir):
+    return LocalDiagnoser.from_registry(registry_dir, "tiny")
+
+
+@pytest.fixture(scope="module")
+def service_diagnoser(registry_dir):
+    config = DiagnoserConfig(batch_wait_seconds=0.001, num_workers=1)
+    diagnoser = ServiceDiagnoser.from_registry(registry_dir, config=config)
+    yield diagnoser
+    diagnoser.close()
+
+
+@pytest.fixture(scope="module")
+def pool(registry_dir):
+    pool = ReplicaPool.from_registry(
+        registry_dir, num_replicas=1, batch_wait_seconds=0.001, num_workers=1
+    )
+    yield pool
+    pool.close()
+
+
+@pytest.fixture(scope="module")
+def gateway(pool):
+    gateway = DiagnosisGateway(pool, port=0, response_cache_size=64).start()
+    yield gateway
+    gateway.shutdown()
+
+
+@pytest.fixture(scope="module")
+def remote_diagnoser(gateway):
+    diagnoser = RemoteDiagnoser(gateway.url, default_model="tiny")
+    yield diagnoser
+    diagnoser.close()
+
+
+class TestThreeWayParity:
+    def test_bitwise_identical_reports_across_backends(
+        self, local_diagnoser, service_diagnoser, remote_diagnoser, tiny_splits
+    ):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+
+        local = local_diagnoser.diagnose_arrays(inputs, labels)
+        service = service_diagnoser.diagnose_arrays(inputs, labels, model="tiny")
+        remote = remote_diagnoser.diagnose_arrays(inputs.tolist(), labels.tolist())
+
+        # Bitwise equality of the full v1 documents: ratios, counts, context,
+        # metadata — no tolerance.
+        assert local.to_dict() == service.to_dict()
+        assert service.to_dict() == remote.to_dict()
+        assert local.num_cases >= 1
+        assert local.metadata["model"] == "tiny"
+        assert local.metadata["version"] == "v1"
+        assert local.metadata["num_production_cases"] == len(test)
+        assert abs(sum(local.ratios.values()) - 1.0) < 1e-12
+
+    def test_parity_with_pinned_version_and_metadata(
+        self, local_diagnoser, service_diagnoser, remote_diagnoser, tiny_splits
+    ):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        kwargs = dict(version="v1", metadata={"run": "parity"})
+
+        local = local_diagnoser.diagnose_arrays(inputs, labels, **kwargs)
+        service = service_diagnoser.diagnose_arrays(inputs, labels, model="tiny", **kwargs)
+        remote = remote_diagnoser.diagnose_arrays(inputs.tolist(), labels.tolist(), **kwargs)
+
+        assert local.to_dict() == service.to_dict() == remote.to_dict()
+        assert local.metadata["run"] == "parity"
+
+    def test_old_entry_points_agree_with_facade(
+        self, fitted_deepmorph, local_diagnoser, registry_dir, tiny_splits
+    ):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+
+        facade = local_diagnoser.diagnose_arrays(inputs, labels)
+
+        # Shim 1: DeepMorph.diagnose (the engine) — same evidence, same ratios.
+        direct = fitted_deepmorph.diagnose(inputs, labels)
+        assert direct.num_cases == facade.num_cases
+        for defect, ratio in direct.ratios.items():
+            assert facade.ratios[defect.value] == pytest.approx(ratio, abs=1e-9)
+
+        # Shim 2: DiagnosisService.diagnose_dict — the wire document IS the
+        # library document.
+        service = DiagnosisService(registry_dir, batch_wait_seconds=0.001, num_workers=1)
+        try:
+            wire = service.diagnose_dict("tiny", inputs, labels)
+        finally:
+            service.close()
+        assert wire == facade.to_dict()
+
+    def test_diagnose_request_object_round_trip(self, local_diagnoser, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        request = DiagnosisRequest(model="tiny", inputs=inputs, labels=labels)
+        report = local_diagnoser.diagnose(request)
+        rebuilt = DiagnosisRequest.from_dict(request.to_dict())
+        assert local_diagnoser.diagnose(rebuilt).to_dict() == report.to_dict()
+
+
+class TestStreamingDiagnosis:
+    def test_diagnose_iter_yields_per_batch_reports(self, local_diagnoser, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        batch = 10
+        reports = list(local_diagnoser.diagnose_iter(inputs, labels, batch_size=batch))
+        assert reports, "expected at least one faulty batch"
+        assert sum(r.metadata["num_production_cases"] for r in reports) <= len(test)
+        assert all(r.metadata["num_production_cases"] <= batch for r in reports)
+        # Streaming covers the same faulty population as one big diagnosis.
+        total_cases = sum(r.num_cases for r in reports)
+        whole = local_diagnoser.diagnose_arrays(inputs, labels)
+        assert total_cases == whole.num_cases
+
+    def test_diagnose_iter_accepts_a_dataset(self, local_diagnoser, tiny_splits):
+        _, test = tiny_splits
+        reports = list(local_diagnoser.diagnose_iter(test, batch_size=16))
+        assert reports
+        assert sum(r.num_cases for r in reports) >= 1
+
+    def test_diagnose_iter_over_remote_backend(self, remote_diagnoser, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        reports = list(
+            remote_diagnoser.diagnose_iter(inputs.tolist(), labels.tolist(), batch_size=16)
+        )
+        assert reports
+        assert all(r.cache_state in ("hit", "miss", "off") for r in reports)
+
+    def test_diagnose_iter_argument_validation(self, local_diagnoser, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        with pytest.raises(ConfigurationError):
+            list(local_diagnoser.diagnose_iter(test, labels, batch_size=8))
+        with pytest.raises(ConfigurationError):
+            list(local_diagnoser.diagnose_iter(inputs, None, batch_size=8))
+        with pytest.raises(ConfigurationError):
+            list(local_diagnoser.diagnose_iter(inputs, labels, batch_size=0))
+
+
+class TestBackendBehavior:
+    def test_unknown_schema_version_rejected_everywhere(
+        self, local_diagnoser, service_diagnoser, remote_diagnoser, tiny_splits
+    ):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        request = DiagnosisRequest(model="tiny", inputs=inputs, labels=labels, schema="v99")
+        for backend in (local_diagnoser, service_diagnoser, remote_diagnoser):
+            with pytest.raises(SchemaVersionError):
+                backend.diagnose(request)
+
+    def test_local_identity_checks(self, local_diagnoser, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        with pytest.raises(ArtifactNotFoundError):
+            local_diagnoser.diagnose_arrays(inputs, labels, model="ghost")
+        with pytest.raises(ArtifactNotFoundError):
+            local_diagnoser.diagnose_arrays(inputs, labels, version="v99")
+
+    def test_remote_maps_errors_onto_typed_exceptions(self, remote_diagnoser, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        with pytest.raises(ArtifactNotFoundError):
+            remote_diagnoser.diagnose_arrays(inputs.tolist(), labels.tolist(), model="ghost")
+        with pytest.raises(ConfigurationError):
+            # Labels/inputs length mismatch -> the shared validation's
+            # ConfigurationError, rebuilt client-side from the wire document.
+            remote_diagnoser.diagnose_arrays(inputs[:2].tolist(), labels[:1].tolist())
+        from repro.exceptions import ShapeError
+
+        with pytest.raises(ShapeError):
+            remote_diagnoser.diagnose_arrays([[0.0] * 4], [0], model="tiny")
+
+    def test_remote_maps_no_faulty_cases(self, remote_diagnoser, local_diagnoser, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        # Label every case with the model's own predictions: nothing is faulty.
+        predictions = local_diagnoser.morph.model.predict(inputs)
+        with pytest.raises(NoFaultyCasesError):
+            remote_diagnoser.diagnose_arrays(inputs.tolist(), predictions.tolist())
+
+    def test_remote_surfaces_response_cache_state(self, gateway, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        client = RemoteDiagnoser(gateway.url, default_model="tiny")
+        try:
+            payload = (inputs.tolist(), labels.tolist())
+            first = client.diagnose_arrays(*payload, metadata={"probe": "cache-state"})
+            second = client.diagnose_arrays(*payload, metadata={"probe": "cache-state"})
+        finally:
+            client.close()
+        assert first.cache_state == "miss"
+        assert second.cache_state == "hit"
+        assert first.to_dict() == second.to_dict()
+
+    def test_remote_saturation_raises_typed_error_when_retries_exhausted(
+        self, gateway, pool, tiny_splits
+    ):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        client = RemoteDiagnoser(
+            gateway.url,
+            config=DiagnoserConfig(max_retries=0),
+            default_model="tiny",
+        )
+        leases = [pool.acquire() for _ in range(pool.max_inflight)]
+        try:
+            with pytest.raises(ServiceSaturatedError) as excinfo:
+                client.diagnose_arrays(
+                    inputs.tolist(), labels.tolist(), metadata={"probe": "saturation"}
+                )
+            assert excinfo.value.retry_after >= 1.0
+        finally:
+            for lease in leases:
+                lease.release()
+            client.close()
+
+    def test_remote_retries_after_saturation_clears(self, gateway, pool, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        client = RemoteDiagnoser(
+            gateway.url,
+            config=DiagnoserConfig(
+                max_retries=3, retry_backoff_seconds=0.05, retry_after_cap_seconds=0.1
+            ),
+            default_model="tiny",
+        )
+        lease = pool.acquire()
+        release_timer = __import__("threading").Timer(0.15, lease.release)
+        # Saturate a 1-replica pool view only partially: hold capacity down to
+        # the last slot, then free it while the client is backing off.
+        extra = [pool.acquire() for _ in range(pool.max_inflight - 1)]
+        release_timer.start()
+        try:
+            report = client.diagnose_arrays(
+                inputs.tolist(), labels.tolist(), metadata={"probe": "retry-clears"}
+            )
+            assert report.num_cases >= 1
+        finally:
+            release_timer.cancel()
+            lease.release()
+            for item in extra:
+                item.release()
+            client.close()
+
+    def test_remote_rejects_non_bare_base_urls(self):
+        with pytest.raises(ConfigurationError):
+            RemoteDiagnoser("https://host:1")  # https not spoken
+        with pytest.raises(ConfigurationError):
+            RemoteDiagnoser("http://host:1/prefix")  # path would be dropped
+        with pytest.raises(ConfigurationError):
+            RemoteDiagnoser("http://host:1/?q=1")
+
+    def test_local_config_dtype_applies_on_both_construction_paths(
+        self, registry_dir, fitted_deepmorph
+    ):
+        import numpy as np
+
+        from repro.api import LocalDiagnoser
+
+        config = DiagnoserConfig(inference_dtype="float64")
+        loaded = LocalDiagnoser.from_registry(registry_dir, "tiny", config=config)
+        assert np.dtype(loaded.morph.instrumented.inference_dtype) == np.float64
+        registry = __import__("repro.serve", fromlist=["ArtifactRegistry"])
+        wrapped = LocalDiagnoser(
+            registry.ArtifactRegistry(registry_dir).load("tiny"), config=config
+        )
+        assert np.dtype(wrapped.morph.instrumented.inference_dtype) == np.float64
+
+    def test_remote_transport_error_on_dead_server(self):
+        client = RemoteDiagnoser(
+            "http://127.0.0.1:9",  # discard port: nothing listens
+            config=DiagnoserConfig(max_retries=1, retry_backoff_seconds=0.01),
+        )
+        with pytest.raises(RemoteTransportError):
+            client.diagnose_arrays([[0.0]], [0], model="tiny")
+
+    def test_remote_introspection_endpoints(self, remote_diagnoser):
+        assert remote_diagnoser.health()["status"] == "ok"
+        assert "tiny" in remote_diagnoser.health()["models"]
+        assert any(m["name"] == "tiny" for m in remote_diagnoser.models()["models"])
+        assert "pool" in remote_diagnoser.stats()
+        assert "gateway" in remote_diagnoser.metrics()
+
+    def test_service_diagnoser_over_replica_pool(self, pool, tiny_splits, local_diagnoser):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        diagnoser = ServiceDiagnoser(pool, default_model="tiny")
+        report = diagnoser.diagnose_arrays(inputs, labels)
+        assert report.to_dict() == local_diagnoser.diagnose_arrays(inputs, labels).to_dict()
+        diagnoser.close()  # does not own the pool
+        assert pool.acquire().release() is None  # pool still alive
+
+    def test_context_managers_close_backends(self, registry_dir, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        config = DiagnoserConfig(batch_wait_seconds=0.001, num_workers=1)
+        with ServiceDiagnoser.from_registry(registry_dir, config=config) as diagnoser:
+            report = diagnoser.diagnose_arrays(inputs, labels, model="tiny")
+            assert report.num_cases >= 1
+            inner = diagnoser.service
+        assert inner._closed  # owned service closed on exit
