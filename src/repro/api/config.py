@@ -69,6 +69,10 @@ class DiagnoserConfig:
         Base sleep between transport retries (doubled per attempt).
     retry_after_cap_seconds:
         Upper bound honored for a server-sent ``Retry-After`` hint.
+    propagate_trace_headers:
+        Send ``X-Request-ID`` / ``X-Trace-Parent`` on remote requests when
+        tracing is enabled, so client- and server-side spans stitch into one
+        trace.  Disable for servers that must not receive client identifiers.
     """
 
     # -- pipeline --------------------------------------------------------------
@@ -93,6 +97,7 @@ class DiagnoserConfig:
     max_retries: int = 2
     retry_backoff_seconds: float = 0.25
     retry_after_cap_seconds: float = 5.0
+    propagate_trace_headers: bool = True
 
     def __post_init__(self) -> None:
         positive_ints = {

@@ -41,6 +41,7 @@ from ..exceptions import (
     SchemaVersionError,
 )
 from ..nn.dtype import resolve_dtype
+from ..obs import bind_request_id, current_request_id, get_tracer, new_request_id, unbind_request_id
 from ..serve.registry import ArtifactRegistry
 from ..serve.replicas import ReplicaPool
 from ..serve.service import DiagnosisService
@@ -73,13 +74,34 @@ class Diagnoser(abc.ABC):
     # -- the one entry point -----------------------------------------------------
 
     def diagnose(self, request: DiagnosisRequest) -> DiagnosisReport:
-        """Diagnose one request (the single abstract operation of the API)."""
+        """Diagnose one request (the single abstract operation of the API).
+
+        With tracing enabled (see :mod:`repro.obs`) the call runs under a
+        client-side span and the request is stamped with a request id in its
+        metadata, so the id travels through any backend — including the wire
+        to a remote gateway — and back in the report.  With tracing disabled
+        (the default) the request passes through **unmodified**, preserving
+        bitwise report parity across backends.
+        """
         if request.schema != SCHEMA_VERSION:
             raise SchemaVersionError(
                 f"unsupported request schema version {request.schema!r}; this library "
                 f"speaks {SCHEMA_VERSION!r}"
             )
-        return self._diagnose(request)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._diagnose(request)
+        request_id = request.request_id or current_request_id() or new_request_id()
+        request = request.with_request_id(request_id)
+        token = bind_request_id(request_id)
+        try:
+            with tracer.span(
+                "diagnoser.request",
+                {"backend": type(self).__name__, "model": str(request.model)},
+            ):
+                return self._diagnose(request)
+        finally:
+            unbind_request_id(token)
 
     @abc.abstractmethod
     def _diagnose(self, request: DiagnosisRequest) -> DiagnosisReport:

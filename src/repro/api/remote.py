@@ -31,6 +31,7 @@ from ..exceptions import (
     RemoteTransportError,
     exception_from_wire,
 )
+from ..obs import current_request_id, get_tracer
 from .config import DiagnoserConfig
 from .diagnoser import Diagnoser
 from .schema import DiagnosisReport, DiagnosisRequest, JsonDict
@@ -107,12 +108,32 @@ class RemoteDiagnoser(Diagnoser):
                 pass
             self._connection = None
 
+    def _trace_headers(self) -> Dict[str, str]:
+        """Propagation headers for the current context (empty when disabled).
+
+        ``X-Request-ID`` carries request identity; ``X-Trace-Parent`` lets
+        the server parent its root span under this client's active span, so
+        one trace stitches both processes.  ``config.propagate_trace_headers``
+        turns both off for servers that must not see client identifiers.
+        """
+        if not self.config.propagate_trace_headers:
+            return {}
+        headers: Dict[str, str] = {}
+        request_id = current_request_id()
+        if request_id is not None:
+            headers["X-Request-ID"] = request_id
+        context = get_tracer().current_context()
+        if context is not None:
+            headers["X-Trace-Parent"] = context.header_value()
+        return headers
+
     def _roundtrip(
         self, method: str, path: str, body: Optional[bytes]
     ) -> Tuple[int, Dict[str, str], bytes]:
         """One request over the keep-alive connection; raises on transport failure."""
         connection = self._connect()
         headers = {"Content-Type": "application/json"} if body is not None else {}
+        headers.update(self._trace_headers())
         connection.request(method, path, body=body, headers=headers)
         response = connection.getresponse()
         payload = response.read()
@@ -185,7 +206,11 @@ class RemoteDiagnoser(Diagnoser):
 
     def _diagnose(self, request: DiagnosisRequest) -> DiagnosisReport:
         body = json.dumps(request.to_dict()).encode("utf-8")
-        status, headers, payload = self._request("POST", "/diagnose", body)
+        with get_tracer().span(
+            "remote.roundtrip", {"url": self.url, "body_bytes": len(body)}
+        ) as rt_span:
+            status, headers, payload = self._request("POST", "/diagnose", body)
+            rt_span.set_attribute("status", status)
         if status != 200:
             self._raise_for_error(status, headers, payload)
         return DiagnosisReport.from_dict(

@@ -28,6 +28,7 @@ from ..exceptions import ConfigurationError, SchemaVersionError, ServeError
 
 __all__ = [
     "SCHEMA_VERSION",
+    "REQUEST_ID_METADATA_KEY",
     "DEFECT_KEYS",
     "CONTEXT_KEYS",
     "REQUEST_FIELDS",
@@ -40,6 +41,12 @@ __all__ = [
 
 #: The schema version this library speaks.
 SCHEMA_VERSION = "v1"
+
+#: Metadata key carrying the request id end to end.  ``metadata`` is the
+#: schema's free-form extension point, so request identity rides in-band
+#: through every backend (and into the report, whose metadata merges the
+#: request's) without a v2 schema bump.
+REQUEST_ID_METADATA_KEY = "request_id"
 
 #: Canonical defect keys, in report order (ITD, UTD, SD — the paper's Table I order).
 DEFECT_KEYS: Tuple[str, ...] = (
@@ -145,6 +152,27 @@ class DiagnosisRequest:
         """The validated ``(inputs, labels)`` arrays of this request."""
         return validate_arrays(self.inputs, self.labels)
 
+    @property
+    def request_id(self) -> Optional[str]:
+        """The request id riding in metadata, if any (see the module note)."""
+        value = (self.metadata or {}).get(REQUEST_ID_METADATA_KEY)
+        return str(value) if value is not None else None
+
+    def with_request_id(self, request_id: str) -> "DiagnosisRequest":
+        """A copy carrying ``request_id`` in its metadata (self if already set)."""
+        if self.request_id is not None:
+            return self
+        metadata = dict(self.metadata or {})
+        metadata[REQUEST_ID_METADATA_KEY] = str(request_id)
+        return DiagnosisRequest(
+            model=self.model,
+            inputs=self.inputs,
+            labels=self.labels,
+            version=self.version,
+            metadata=metadata,
+            schema=self.schema,
+        )
+
     def to_dict(self) -> JsonDict:
         """The request as its ``v1`` wire document (arrays become lists)."""
         payload: JsonDict = {
@@ -239,6 +267,12 @@ class DiagnosisReport:
     def dominant_defect(self) -> str:
         """The defect key with the highest ratio (the paper's reported diagnosis)."""
         return max(self.ratios, key=lambda key: self.ratios[key])
+
+    @property
+    def request_id(self) -> Optional[str]:
+        """The originating request's id, when it rode the request metadata."""
+        value = self.metadata.get(REQUEST_ID_METADATA_KEY)
+        return str(value) if value is not None else None
 
     def ratio(self, defect: Union[str, DefectType]) -> float:
         """The ratio of one defect type (by key or :class:`DefectType`)."""

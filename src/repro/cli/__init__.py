@@ -1,5 +1,5 @@
-"""Command-line entry points (``repro-train``, ``repro-inject``, ``repro-diagnose``, ``repro-table1``, ``repro-serve``)."""
+"""Command-line entry points (``repro-train``, ``repro-inject``, ``repro-diagnose``, ``repro-table1``, ``repro-serve``, ``repro-trace``)."""
 
-from . import diagnose, inject, serve, table1, train
+from . import diagnose, inject, serve, table1, trace, train
 
-__all__ = ["train", "inject", "diagnose", "table1", "serve"]
+__all__ = ["train", "inject", "diagnose", "table1", "serve", "trace"]

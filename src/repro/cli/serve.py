@@ -19,10 +19,12 @@ from __future__ import annotations
 import argparse
 from typing import Optional, Sequence
 
+from .. import obs
 from ..api import DiagnoserConfig
 from ..serve import (
     ArtifactRegistry,
     DiagnosisService,
+    MetricsRegistry,
     ReplicaPool,
     serve_forever,
     serve_gateway_forever,
@@ -89,6 +91,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"train + fit + register a {DEMO_MODEL_NAME!r} model before serving "
              f"(uses the experiment preset flags)",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="enable request tracing: per-stage spans feed GET /debug/traces, "
+             "per-stage latency histograms in GET /metrics, and structured "
+             "JSON logs on stderr",
+    )
+    parser.add_argument(
+        "--trace-jsonl", default=None, metavar="PATH",
+        help="also append every finished span to PATH as JSON lines "
+             "(render with repro-trace; implies --trace)",
+    )
     parser.add_argument("--verbose", action="store_true", help="log every HTTP request")
     return parser
 
@@ -141,6 +154,20 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     )
     service_kwargs = config.service_kwargs()
 
+    # Observability: one shared registry so the span-derived per-stage
+    # histograms land next to the front end's own instruments at /metrics.
+    front_end_metrics = MetricsRegistry()
+    tracing = args.trace or args.trace_jsonl is not None
+    if tracing:
+        obs.configure(
+            enabled=True,
+            jsonl_path=args.trace_jsonl,
+            metrics=front_end_metrics,
+            logs=True,
+        )
+        sink = args.trace_jsonl or "in-memory ring (GET /debug/traces)"
+        print(f"tracing enabled; spans -> {sink}")
+
     if args.async_gateway:
         pool = ReplicaPool.from_registry(
             registry,
@@ -150,16 +177,24 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
             **service_kwargs,
         )
         try:
-            serve_gateway_forever(pool, host=args.host, port=args.port, verbose=args.verbose)
+            serve_gateway_forever(
+                pool,
+                host=args.host,
+                port=args.port,
+                verbose=args.verbose,
+                metrics=front_end_metrics,
+            )
         finally:
             pool.close()
+            obs.get_tracer().flush()
         return 0
 
-    service = DiagnosisService(registry, **service_kwargs)
+    service = DiagnosisService(registry, metrics=front_end_metrics, **service_kwargs)
     try:
         serve_forever(service, host=args.host, port=args.port, verbose=args.verbose)
     finally:
         service.close()
+        obs.get_tracer().flush()
     return 0
 
 

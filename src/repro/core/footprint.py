@@ -25,6 +25,7 @@ from ..analysis.trajectory import (
     entropy_profile,
 )
 from ..exceptions import ShapeError
+from ..obs import span as obs_span
 from .instrument import SoftmaxInstrumentedModel
 
 __all__ = ["Footprint", "FootprintExtractor"]
@@ -249,6 +250,10 @@ class FootprintExtractor:
         vectorized substrate of the request batching engine in
         :mod:`repro.serve`.
         """
-        return self.instrumented.layer_distributions_grouped(
-            input_groups, batch_size=self.batch_size
-        )
+        total = sum(int(group.shape[0]) for group in input_groups)
+        with obs_span(
+            "extract.coalesced", {"num_groups": len(input_groups), "num_cases": total}
+        ):
+            return self.instrumented.layer_distributions_grouped(
+                input_groups, batch_size=self.batch_size
+            )

@@ -1,0 +1,106 @@
+"""repro.obs — tracing, per-stage profiling, and structured logs.
+
+The observability layer for the serving stack (the instrumentation /
+slow-control analogue of the reproduction):
+
+* :mod:`repro.obs.trace` — ``Tracer``/``Span`` with monotonic wall + CPU
+  clocks, ``contextvars`` propagation, and a near-zero-cost disabled path.
+* :mod:`repro.obs.export` — bounded in-memory trace ring (``/debug/traces``),
+  JSONL file export (``repro-trace``), and a bridge deriving per-stage
+  latency histograms into a :class:`~repro.serve.metrics.MetricsRegistry`.
+* :mod:`repro.obs.logging` — JSON log records stamped with the active
+  trace/span/request ids.
+
+Everything is off by default; call :func:`configure` (or pass ``--trace`` to
+``repro-serve``) to turn the process-wide tracer on.
+"""
+
+from __future__ import annotations
+
+import logging as _logging
+from typing import Optional
+
+from .export import (
+    InMemorySpanExporter,
+    JsonlSpanExporter,
+    MetricsSpanExporter,
+    load_jsonl,
+)
+from .logging import JsonLogFormatter, configure_logging, get_logger, log_event
+from .trace import (
+    NOOP_SPAN,
+    Span,
+    SpanContext,
+    SpanStatus,
+    Tracer,
+    bind_request_id,
+    current_context,
+    current_request_id,
+    current_span,
+    get_tracer,
+    new_request_id,
+    sanitize_trace_id,
+    span,
+    unbind_request_id,
+)
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "SpanStatus",
+    "Tracer",
+    "NOOP_SPAN",
+    "get_tracer",
+    "span",
+    "current_span",
+    "current_context",
+    "new_request_id",
+    "bind_request_id",
+    "unbind_request_id",
+    "current_request_id",
+    "sanitize_trace_id",
+    "InMemorySpanExporter",
+    "JsonlSpanExporter",
+    "MetricsSpanExporter",
+    "load_jsonl",
+    "JsonLogFormatter",
+    "configure_logging",
+    "get_logger",
+    "log_event",
+    "configure",
+]
+
+
+def configure(
+    enabled: bool = True,
+    jsonl_path: Optional[str] = None,
+    metrics: Optional[object] = None,
+    memory: bool = True,
+    logs: bool = False,
+    log_level: int = _logging.INFO,
+    reset: bool = False,
+) -> Tracer:
+    """Configure the process-wide tracer in place and return it.
+
+    The global tracer object is mutated, never replaced, so components that
+    grabbed it before configuration observe the change.  ``reset=True`` first
+    drops existing exporters (closing any open JSONL files) — tests use this
+    to start clean.  ``metrics`` may be any registry with
+    ``histogram(name, description).observe(value)``; exporters are deduped, so
+    configuring twice with the same file path or registry is safe.
+    """
+    tracer = get_tracer()
+    if reset:
+        tracer.clear_exporters()
+    tracer.enabled = bool(enabled)
+    if enabled:
+        has_memory = any(isinstance(e, InMemorySpanExporter) for e in tracer.exporters())
+        if memory and not has_memory:
+            tracer.add_exporter(InMemorySpanExporter())
+        if jsonl_path:
+            tracer.add_exporter(JsonlSpanExporter(jsonl_path))
+        if metrics is not None:
+            tracer.add_exporter(MetricsSpanExporter(metrics))
+    if logs:
+        configure_logging(level=log_level)
+    return tracer

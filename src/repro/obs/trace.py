@@ -1,0 +1,474 @@
+"""Span-based tracing for the serving stack.
+
+A request through the scale-out stack crosses an asyncio event loop, an
+executor thread, the batching engine's drain thread, and (for remote callers)
+a process boundary.  Aggregate metrics (:mod:`repro.serve.metrics`) say *how
+much* time the stack spends; they cannot say *where one request's* time went.
+This module provides the attribution layer:
+
+* :class:`Span` — one timed stage of one request: monotonic wall time
+  (``time.perf_counter``), thread CPU time (``time.thread_time``), free-form
+  attributes, a status, and a parent link, grouped under a shared trace id.
+* :class:`Tracer` — creates spans and fans finished spans out to exporters.
+  **Disabled by default**: a disabled tracer returns a shared no-op span, so
+  the cost of an un-traced callsite is one method call and one attribute
+  check.
+* ``contextvars`` propagation — the active span and the active request id
+  live in context variables, so nesting works unchanged across ``await``
+  boundaries and, via :func:`copy_context`, across executor threads.  Threads
+  the library owns (the batching engine) cross the boundary explicitly by
+  capturing :meth:`Tracer.current_context` at submit time.
+
+The module is deliberately stdlib-only and imports nothing from the serving
+stack, so every layer (core, serve, api, cli) can instrument itself without
+import cycles.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+import uuid
+from typing import Dict, List, Mapping, NamedTuple, Optional, Union
+
+__all__ = [
+    "SpanContext",
+    "SpanStatus",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "current_span",
+    "current_context",
+    "new_request_id",
+    "bind_request_id",
+    "unbind_request_id",
+    "current_request_id",
+    "sanitize_trace_id",
+]
+
+AttributeValue = Union[str, int, float, bool, None]
+Attributes = Dict[str, AttributeValue]
+
+#: The innermost active span of the current execution context.
+_current_span: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+#: The request id of the current execution context (set by the HTTP front
+#: ends and the Diagnoser facade; stamped onto spans and structured logs).
+_current_request_id: "contextvars.ContextVar[Optional[str]]" = contextvars.ContextVar(
+    "repro_obs_request_id", default=None
+)
+
+_HEX = frozenset("0123456789abcdef")
+
+
+class SpanContext(NamedTuple):
+    """The minimal, immutable identity of a span (what crosses boundaries)."""
+
+    trace_id: str
+    span_id: str
+
+    def header_value(self) -> str:
+        """Wire form for the ``X-Trace-Parent`` header: ``<trace_id>-<span_id>``."""
+        return f"{self.trace_id}-{self.span_id}"
+
+    @classmethod
+    def from_header_value(cls, value: Optional[str]) -> "Optional[SpanContext]":
+        """Parse an ``X-Trace-Parent`` header; ``None`` on anything malformed."""
+        if not value:
+            return None
+        trace_id, separator, span_id = value.strip().lower().partition("-")
+        if not separator:
+            return None
+        trace_id = sanitize_trace_id(trace_id)
+        if trace_id is None or not span_id or len(span_id) > 32 or not set(span_id) <= _HEX:
+            return None
+        return cls(trace_id, span_id)
+
+
+def sanitize_trace_id(value: Optional[str]) -> Optional[str]:
+    """A client-supplied trace id, or ``None`` if it is unusable.
+
+    Accepts lowercase hex up to 32 chars — the format this tracer generates —
+    so a hostile header cannot inject log/JSON structure through the id.
+    """
+    if not value:
+        return None
+    candidate = value.strip().lower()
+    if not candidate or len(candidate) > 32 or not set(candidate) <= _HEX:
+        return None
+    return candidate
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+def new_request_id() -> str:
+    """A fresh request id (16 hex chars; same alphabet as trace ids)."""
+    return uuid.uuid4().hex[:16]
+
+
+def bind_request_id(request_id: str) -> "contextvars.Token[Optional[str]]":
+    """Bind the request id of the current context; returns the reset token."""
+    return _current_request_id.set(str(request_id))
+
+
+def unbind_request_id(token: "contextvars.Token[Optional[str]]") -> None:
+    _current_request_id.reset(token)
+
+
+def current_request_id() -> Optional[str]:
+    """The request id bound to the current context, if any."""
+    return _current_request_id.get()
+
+
+def current_span() -> "Optional[Span]":
+    """The innermost active span of the current context, if any."""
+    return _current_span.get()
+
+
+def current_context() -> Optional[SpanContext]:
+    """The :class:`SpanContext` of the active span, or ``None``."""
+    active = _current_span.get()
+    return active.context() if active is not None else None
+
+
+class SpanStatus:
+    """Terminal statuses of a span (plain strings so exports stay JSON-native)."""
+
+    UNSET = "unset"
+    OK = "ok"
+    ERROR = "error"
+
+
+class Span:
+    """One timed, attributed stage of one request.
+
+    Spans are context managers: entering makes the span the context's current
+    span (so children parent themselves automatically), exiting records any
+    in-flight exception, stops both clocks, and exports the span.  Both
+    clocks are monotonic — ``perf_counter`` for wall time, ``thread_time``
+    for CPU time — so durations survive wall-clock jumps; ``start_time`` is
+    a separate epoch timestamp kept for display only.
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "status",
+        "error",
+        "start_time",
+        "start_monotonic",
+        "duration_seconds",
+        "cpu_seconds",
+        "_tracer",
+        "_start_cpu",
+        "_token",
+        "_finished",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        parent_id: Optional[str],
+        attributes: Optional[Mapping[str, AttributeValue]] = None,
+        kind: str = "internal",
+    ) -> None:
+        self._tracer = tracer
+        self.name = str(name)
+        self.kind = str(kind)
+        self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
+        self.attributes: Attributes = dict(attributes) if attributes else {}
+        request_id = _current_request_id.get()
+        if request_id is not None and "request_id" not in self.attributes:
+            self.attributes["request_id"] = request_id
+        self.status = SpanStatus.UNSET
+        self.error: Optional[str] = None
+        self.start_time = time.time()
+        self.start_monotonic = time.perf_counter()
+        self._start_cpu = time.thread_time()
+        self.duration_seconds: Optional[float] = None
+        self.cpu_seconds: Optional[float] = None
+        self._token: Optional[contextvars.Token] = None
+        self._finished = False
+
+    # -- identity ----------------------------------------------------------------
+
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    @property
+    def is_recording(self) -> bool:
+        return not self._finished
+
+    # -- mutation ----------------------------------------------------------------
+
+    def set_attribute(self, key: str, value: AttributeValue) -> "Span":
+        self.attributes[str(key)] = value
+        return self
+
+    def set_attributes(self, attributes: Mapping[str, AttributeValue]) -> "Span":
+        for key, value in attributes.items():
+            self.attributes[str(key)] = value
+        return self
+
+    def record_error(self, error: BaseException) -> "Span":
+        self.status = SpanStatus.ERROR
+        self.error = f"{type(error).__name__}: {error}"
+        return self
+
+    def finish(self) -> None:
+        """Stop the clocks, default the status to OK, and export (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        self.duration_seconds = time.perf_counter() - self.start_monotonic
+        # Thread CPU time is only meaningful when the span finishes on the
+        # thread it started on (every context-managed span does).
+        self.cpu_seconds = max(0.0, time.thread_time() - self._start_cpu)
+        if self.status == SpanStatus.UNSET:
+            self.status = SpanStatus.OK
+        self._tracer._export(self)
+
+    # -- context management ------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._token = _current_span.set(self)
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if self._token is not None:
+            _current_span.reset(self._token)
+            self._token = None
+        if exc is not None and isinstance(exc, BaseException):
+            self.record_error(exc)
+        self.finish()
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-native record of a finished (or in-flight) span."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "start_monotonic": self.start_monotonic,
+            "duration_seconds": self.duration_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        duration = (
+            f", duration={self.duration_seconds * 1e3:.2f}ms"
+            if self.duration_seconds is not None
+            else ""
+        )
+        return f"Span({self.name!r}, trace={self.trace_id[:8]}{duration})"
+
+
+class _NoopSpan:
+    """The shared do-nothing span a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    name = ""
+    kind = "noop"
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    attributes: Attributes = {}
+    status = SpanStatus.UNSET
+    error = None
+    duration_seconds = None
+    cpu_seconds = None
+    is_recording = False
+
+    def context(self) -> Optional[SpanContext]:
+        return None
+
+    def set_attribute(self, key: str, value: AttributeValue) -> "_NoopSpan":
+        return self
+
+    def set_attributes(self, attributes: Mapping[str, AttributeValue]) -> "_NoopSpan":
+        return self
+
+    def record_error(self, error: BaseException) -> "_NoopSpan":
+        return self
+
+    def finish(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {}
+
+    def __repr__(self) -> str:
+        return "Span(<noop>)"
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Creates spans and fans finished spans out to registered exporters.
+
+    The process-wide instance (:func:`get_tracer`) starts **disabled**;
+    :func:`repro.obs.configure` flips it on and installs exporters.  The
+    enabled flag and the exporter list are mutated in place rather than the
+    tracer being replaced, so components that captured the tracer (or call
+    :func:`get_tracer` at request time) all observe reconfiguration.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self._exporters: List[object] = []
+        self._lock = threading.Lock()
+
+    # -- exporters ---------------------------------------------------------------
+
+    def add_exporter(self, exporter: object) -> bool:
+        """Register an exporter; dedupes on ``dedupe_key`` (when present).
+
+        Returns whether the exporter was added (``False`` when an exporter
+        with the same non-None key is already registered).
+        """
+        key = getattr(exporter, "dedupe_key", None)
+        with self._lock:
+            if key is not None:
+                for existing in self._exporters:
+                    if getattr(existing, "dedupe_key", None) == key:
+                        return False
+            self._exporters.append(exporter)
+            return True
+
+    def exporters(self) -> List[object]:
+        with self._lock:
+            return list(self._exporters)
+
+    def clear_exporters(self) -> None:
+        with self._lock:
+            doomed, self._exporters = self._exporters, []
+        for exporter in doomed:
+            close = getattr(exporter, "close", None)
+            if callable(close):
+                close()
+
+    def flush(self) -> None:
+        """Flush every exporter that supports it (JSONL files, notably)."""
+        for exporter in self.exporters():
+            flush = getattr(exporter, "flush", None)
+            if callable(flush):
+                flush()
+
+    # -- span creation -----------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        attributes: Optional[Mapping[str, AttributeValue]] = None,
+        parent: Optional[SpanContext] = None,
+        trace_id: Optional[str] = None,
+        kind: str = "internal",
+    ) -> Union[Span, _NoopSpan]:
+        """Start a span (use as a context manager).
+
+        Parent resolution: an explicit ``parent`` context wins (the batching
+        engine crossing its thread boundary), then the context's current
+        span, then a fresh root — optionally under a caller-supplied
+        ``trace_id`` (an HTTP front end joining a client's trace).  Disabled
+        tracers return the shared no-op span.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        if parent is not None:
+            resolved_trace, parent_id = parent.trace_id, parent.span_id
+        else:
+            active = _current_span.get()
+            if active is not None:
+                resolved_trace, parent_id = active.trace_id, active.span_id
+            else:
+                resolved_trace, parent_id = trace_id or new_trace_id(), None
+        return Span(self, name, resolved_trace, parent_id, attributes, kind=kind)
+
+    def current_context(self) -> Optional[SpanContext]:
+        """The active span's context (``None`` when disabled or outside a span)."""
+        if not self.enabled:
+            return None
+        return current_context()
+
+    # -- export ------------------------------------------------------------------
+
+    def _export(self, finished: Span) -> None:
+        record = finished.to_dict()
+        for exporter in self.exporters():
+            try:
+                exporter.export(record)  # type: ignore[attr-defined]
+            except Exception:  # noqa: BLE001,S110 - tracing must never break serving
+                pass
+
+    # -- operational views -------------------------------------------------------
+
+    def debug_payload(self, recent: int = 20, slow: int = 10) -> Dict[str, object]:
+        """The ``GET /debug/traces`` document: recent + slow-sampled traces."""
+        payload: Dict[str, object] = {"enabled": self.enabled, "recent": [], "slow": []}
+        for exporter in self.exporters():
+            traces = getattr(exporter, "recent_traces", None)
+            slow_traces = getattr(exporter, "slow_traces", None)
+            if callable(traces) and callable(slow_traces):
+                payload["recent"] = traces(recent)
+                payload["slow"] = slow_traces(slow)
+                break
+        return payload
+
+    def __repr__(self) -> str:
+        return f"Tracer(enabled={self.enabled}, exporters={len(self.exporters())})"
+
+
+#: The process-wide tracer every component uses by default.  Mutated (never
+#: replaced) by :func:`repro.obs.configure`.
+_GLOBAL_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled until :func:`repro.obs.configure`)."""
+    return _GLOBAL_TRACER
+
+
+def span(
+    name: str,
+    attributes: Optional[Mapping[str, AttributeValue]] = None,
+    parent: Optional[SpanContext] = None,
+    trace_id: Optional[str] = None,
+    kind: str = "internal",
+) -> Union[Span, _NoopSpan]:
+    """Shorthand for ``get_tracer().span(...)`` (the common callsite form)."""
+    return _GLOBAL_TRACER.span(
+        name, attributes=attributes, parent=parent, trace_id=trace_id, kind=kind
+    )

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..exceptions import ServeError
 from ..nn.dtype import policy_float
+from ..obs import SpanContext, current_span, get_tracer
 from .cache import FootprintCache
 from .metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 
@@ -46,12 +47,19 @@ _request_ids = itertools.count(1)
 
 @dataclass
 class ExtractionRequest:
-    """One pending footprint-extraction request for a single model."""
+    """One pending footprint-extraction request for a single model.
+
+    ``trace`` carries the submitter's span context across the thread
+    boundary into the engine's drain thread — ``contextvars`` do not follow
+    a request through a queue, so the context is captured explicitly at
+    submit time and engine-side spans parent to it.
+    """
 
     model_key: str
     inputs: np.ndarray
     future: "Future[Tuple[np.ndarray, np.ndarray]]" = field(default_factory=Future)
     request_id: int = field(default_factory=lambda: next(_request_ids))
+    trace: Optional[SpanContext] = None
 
     @property
     def num_cases(self) -> int:
@@ -188,7 +196,9 @@ class BatchingEngine:
         if self._stop.is_set():
             raise ServeError("batching engine is stopped")
         request = ExtractionRequest(
-            model_key=str(model_key), inputs=policy_float(inputs)
+            model_key=str(model_key),
+            inputs=policy_float(inputs),
+            trace=get_tracer().current_context(),
         )
         if self._metrics is not None:
             self._m_requests.inc()
@@ -261,12 +271,27 @@ class BatchingEngine:
             self._m_batch_cases.observe(sum(r.num_cases for r in requests))
             self._m_queue_depth.set(self._queue.qsize())
         for model_key, group in by_model.items():
-            try:
-                self._process_model_group(model_key, group)
-            except Exception as error:  # noqa: BLE001 - fail the waiting futures
-                for request in group:
-                    if not request.future.done():
-                        request.future.set_exception(error)
+            # Engine-side span, parented (via the explicitly captured context)
+            # to the first co-travelling request's trace; requests coalesced
+            # from *other* traces are noted by count.
+            parent = next((r.trace for r in group if r.trace is not None), None)
+            traces = {r.trace.trace_id for r in group if r.trace is not None}
+            with get_tracer().span(
+                "batching.batch",
+                {
+                    "model_key": model_key,
+                    "num_requests": len(group),
+                    "num_cases": sum(r.num_cases for r in group),
+                    "num_traces": len(traces),
+                },
+                parent=parent,
+            ):
+                try:
+                    self._process_model_group(model_key, group)
+                except Exception as error:  # noqa: BLE001 - fail the waiting futures
+                    for request in group:
+                        if not request.future.done():
+                            request.future.set_exception(error)
 
     def _timed_extract(
         self, model_key: str, groups: Sequence[np.ndarray]
@@ -332,6 +357,11 @@ class BatchingEngine:
         if self._metrics is not None:
             self._m_cases_cached.inc(cached_count)
             self._m_cases_extracted.inc(len(missing_rows))
+        active = current_span()
+        if active is not None:
+            active.set_attributes(
+                {"cases_from_cache": cached_count, "cases_extracted": len(missing_rows)}
+            )
 
         for request, entries in zip(group, slots):
             if request.future.done():
@@ -373,6 +403,11 @@ class BatchingEngine:
                 self._stats["extraction_calls"] += 1
         if self._metrics is not None:
             self._m_cases_extracted.inc(sum(r.num_cases for r in pending))
+        active = current_span()
+        if active is not None:
+            active.set_attributes(
+                {"cases_from_cache": 0, "cases_extracted": sum(r.num_cases for r in pending)}
+            )
 
     # -- introspection ------------------------------------------------------------
 

@@ -35,6 +35,7 @@ The endpoint surface is a superset of the threading server's (``/health``,
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import hashlib
 import json
 import threading
@@ -43,9 +44,24 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..exceptions import ServeError, ServiceSaturatedError
+from ..obs import (
+    SpanContext,
+    bind_request_id,
+    get_logger,
+    get_tracer,
+    log_event,
+    new_request_id,
+    unbind_request_id,
+)
 from .cache import LRUCache
-from .metrics import MetricsRegistry
-from .protocol import error_response, parse_diagnosis_request, parse_json_body
+from .metrics import MetricsRegistry, render_registries_text
+from .protocol import (
+    error_response,
+    parse_diagnosis_request,
+    parse_json_body,
+    resolve_request_id,
+    wants_text_metrics,
+)
 from .replicas import ReplicaPool
 
 __all__ = ["ParsedRequest", "parse_request_head", "DiagnosisGateway", "serve_gateway_forever"]
@@ -202,6 +218,8 @@ class DiagnosisGateway:
         self._m_response_misses = self.metrics.counter(
             "gateway.response_cache_misses_total", "diagnose requests that missed the cache"
         )
+        self._log = get_logger("serve.gateway")
+        self._started_monotonic = time.monotonic()
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -328,34 +346,86 @@ class DiagnosisGateway:
             await self._respond(writer, 400, {"error": str(error)}, False)
             return False
 
+        # Request identity: the client's well-formed X-Request-ID or a fresh
+        # one, bound to this task's context (it stamps spans and log lines,
+        # tracing enabled or not) and echoed on every response from here on.
+        request_id = resolve_request_id(request.headers.get("x-request-id"), new_request_id)
+        token = bind_request_id(request_id)
+        try:
+            tracer = get_tracer()
+            root = tracer.span(
+                "gateway.request",
+                {"method": request.method, "path": request.path, "request_id": request_id},
+                # A client-sent X-Trace-Parent stitches this server-side tree
+                # under the caller's span, making one cross-process trace.
+                parent=SpanContext.from_header_value(request.headers.get("x-trace-parent")),
+                kind="request",
+            )
+            with root:
+                status, payload, keep_alive, sent = await self._handle_parsed(
+                    request, length, reader, writer, request_id
+                )
+                root.set_attribute("status", status)
+            duration = time.perf_counter() - start
+            self._m_request_seconds.observe(duration)
+            log_event(
+                self._log,
+                "request",
+                method=request.method,
+                path=request.path,
+                status=status,
+                duration_seconds=round(duration, 6),
+            )
+            if self.verbose:
+                print(f"gateway: {request.method} {request.path} -> {status}")
+            return keep_alive and sent
+        finally:
+            unbind_request_id(token)
+
+    async def _handle_parsed(
+        self,
+        request: ParsedRequest,
+        length: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        request_id: str,
+    ) -> Tuple[int, Union[Dict, bytes], bool, bool]:
+        """Body read + dispatch + respond, inside the request's root span.
+
+        Returns ``(status, payload, keep_alive, sent)``.
+        """
+        rid_header = (("X-Request-ID", request_id),)
         if length > self.max_body_bytes:
             # The body is never read, so the stream is desynchronized: close.
-            await self._respond(
-                writer,
-                413,
-                {"error": f"request body of {length} bytes exceeds {self.max_body_bytes}"},
-                False,
-            )
-            return False
+            payload = {
+                "error": f"request body of {length} bytes exceeds {self.max_body_bytes}",
+                "request_id": request_id,
+            }
+            sent = await self._respond(writer, 413, payload, False, rid_header)
+            return 413, payload, False, sent
         body = b""
         if length:
             try:
-                body = await asyncio.wait_for(
-                    reader.readexactly(length), timeout=self.body_timeout
-                )
+                with get_tracer().span("gateway.read_body", {"content_length": length}):
+                    body = await asyncio.wait_for(
+                        reader.readexactly(length), timeout=self.body_timeout
+                    )
             except (asyncio.IncompleteReadError, ConnectionError):
-                return False
+                return 0, {}, False, False
             except asyncio.TimeoutError:
-                await self._respond(writer, 408, {"error": "timed out reading body"}, False)
-                return False
+                payload = {"error": "timed out reading body", "request_id": request_id}
+                sent = await self._respond(writer, 408, payload, False, rid_header)
+                return 408, payload, False, sent
 
         status, payload, extra = await self._dispatch(request, body)
+        if status >= 400 and isinstance(payload, dict):
+            payload.setdefault("request_id", request_id)
         keep_alive = request.keep_alive and status < 500
-        sent = await self._respond(writer, status, payload, keep_alive, extra)
-        self._m_request_seconds.observe(time.perf_counter() - start)
-        if self.verbose:
-            print(f"gateway: {request.method} {request.path} -> {status}")
-        return keep_alive and sent
+        with get_tracer().span("gateway.respond"):
+            sent = await self._respond(
+                writer, status, payload, keep_alive, tuple(extra) + rid_header
+            )
+        return status, payload, keep_alive, sent
 
     async def _respond(
         self,
@@ -366,12 +436,16 @@ class DiagnosisGateway:
         extra_headers: Sequence[Tuple[str, str]] = (),
     ) -> bool:
         body = payload if isinstance(payload, bytes) else json.dumps(payload).encode("utf-8")
+        # An extra Content-Type header (the Prometheus text endpoint) replaces
+        # the JSON default rather than duplicating it.
+        has_content_type = any(name.lower() == "content-type" for name, _ in extra_headers)
         lines = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}",
-            "Content-Type: application/json",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
+        if not has_content_type:
+            lines.insert(1, "Content-Type: application/json")
         lines.extend(f"{name}: {value}" for name, value in extra_headers)
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         self._m_responses.get(status // 100, self._m_responses[5]).inc()
@@ -386,11 +460,12 @@ class DiagnosisGateway:
 
     async def _dispatch(
         self, request: ParsedRequest, body: bytes
-    ) -> Tuple[int, Dict, Sequence[Tuple[str, str]]]:
-        path = request.path.split("?", 1)[0].rstrip("/") or "/"
+    ) -> Tuple[int, Union[Dict, bytes], Sequence[Tuple[str, str]]]:
+        raw_path, _, query = request.path.partition("?")
+        path = raw_path.rstrip("/") or "/"
         try:
             if request.method == "GET":
-                return await self._dispatch_get(path)
+                return await self._dispatch_get(path, query, request.headers)
             if request.method == "POST":
                 return await self._dispatch_post(path, body)
             return 405, {"error": f"method {request.method} not allowed"}, ()
@@ -399,16 +474,29 @@ class DiagnosisGateway:
                 self._m_shed.inc()
             return error_response(error)
 
-    async def _dispatch_get(self, path: str) -> Tuple[int, Dict, Sequence[Tuple[str, str]]]:
+    async def _dispatch_get(
+        self, path: str, query: str, headers: Dict[str, str]
+    ) -> Tuple[int, Union[Dict, bytes], Sequence[Tuple[str, str]]]:
         if path == "/health":
             models = await self._run_blocking(self.pool.registered_models)
             return 200, {"status": "ok", "models": models}, ()
+        if path == "/healthz":
+            # Liveness only: answered on the loop without touching the pool,
+            # so orchestrator probes stay cheap and cannot be shed.
+            return 200, self._healthz_payload(), ()
+        if path == "/debug/traces":
+            return 200, get_tracer().debug_payload(), ()
         if path == "/models":
             records = await self._run_blocking(self.pool.records)
             return 200, {"models": records}, ()
         if path == "/stats":
             return 200, self._stats_payload(), ()
         if path == "/metrics":
+            if wants_text_metrics(query, headers.get("accept")):
+                text = self._metrics_text()
+                return 200, text.encode("utf-8"), (
+                    ("Content-Type", "text/plain; version=0.0.4; charset=utf-8"),
+                )
             return 200, self._metrics_payload(), ()
         if path == "/jobs":
             return 200, {"jobs": self.pool.list_jobs()}, ()
@@ -429,16 +517,21 @@ class DiagnosisGateway:
         if path == "/diagnose":
             # The response cache answers repeated bodies on the loop itself —
             # no admission slot, no executor hop, no recomputation.
-            key, cached = self._response_cache_lookup(body)
+            tracer = get_tracer()
+            with tracer.span("gateway.cache_lookup") as cache_span:
+                key, cached = self._response_cache_lookup(body)
+                cache_span.set_attribute("hit", cached is not None)
             if cached is not None:
                 self._m_response_hits.inc()
                 return 200, cached, (("X-Response-Cache", "hit"),)
             # Admission happens here on the loop — a saturated pool sheds the
             # request before any executor slot or JSON parsing is spent on it.
+            # (pool.acquire opens its own "replicas.route" span.)
             lease = self.pool.acquire()
-            status, payload, extra = await self._run_blocking(
-                self._diagnose_blocking, lease, body
-            )
+            with tracer.span("gateway.dispatch", {"body_bytes": len(body)}):
+                status, payload, extra = await self._run_blocking(
+                    self._diagnose_blocking, lease, body
+                )
             if key is None:
                 if status == 200:
                     return status, payload, (("X-Response-Cache", "off"),)
@@ -454,7 +547,11 @@ class DiagnosisGateway:
         return 404, {"error": f"unknown path {path!r}"}, ()
 
     async def _run_blocking(self, fn, *args):
-        return await self._loop.run_in_executor(self._executor, fn, *args)
+        # run_in_executor does NOT propagate contextvars to the worker thread;
+        # carrying a copy over keeps the active span and request id visible to
+        # the blocking diagnosis path (service spans, structured logs).
+        context = contextvars.copy_context()
+        return await self._loop.run_in_executor(self._executor, context.run, fn, *args)
 
     def _response_cache_lookup(self, body: bytes) -> Tuple[Optional[str], Optional[bytes]]:
         """Return ``(cache key, cached response bytes or None)``.
@@ -531,6 +628,32 @@ class DiagnosisGateway:
         snapshot = self.pool.metrics_snapshot()
         snapshot["gateway"] = self.metrics.as_dict()
         return snapshot
+
+    def _metrics_text(self) -> str:
+        """Prometheus text exposition: gateway + pool + per-replica registries.
+
+        Replica registries share metric names, so each snapshot is labelled
+        (``component``, plus ``replica`` for the shards) instead of being
+        merged — HELP/TYPE are emitted once per name, samples per label set.
+        """
+        snapshot = self.pool.metrics_snapshot()
+        pairs = [
+            (self.metrics.as_dict(), {"component": "gateway"}),
+            (snapshot["pool"], {"component": "pool"}),
+        ]
+        pairs.extend(
+            (replica_snapshot, {"component": "replica", "replica": str(index)})
+            for index, replica_snapshot in enumerate(snapshot["replicas"])
+        )
+        return render_registries_text(pairs)
+
+    def _healthz_payload(self) -> Dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
+            "tracing": get_tracer().enabled,
+            "replicas": self.pool.num_replicas,
+        }
 
     def __enter__(self) -> "DiagnosisGateway":
         return self

@@ -29,11 +29,28 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..exceptions import PayloadTooLargeError, ServeError
-from .protocol import error_response, parse_diagnosis_request, parse_json_body
+from ..obs import (
+    SpanContext,
+    bind_request_id,
+    get_logger,
+    get_tracer,
+    log_event,
+    new_request_id,
+    unbind_request_id,
+)
+from .metrics import render_registries_text
+from .protocol import (
+    error_response,
+    parse_diagnosis_request,
+    parse_json_body,
+    resolve_request_id,
+    wants_text_metrics,
+)
 from .service import DiagnosisService
 
 __all__ = ["DiagnosisHTTPServer", "serve_forever"]
@@ -47,6 +64,8 @@ _MAX_BODY_BYTES = 16 * 1024 * 1024
 #: frees its handler thread after this many seconds instead of pinning it.
 _SOCKET_TIMEOUT_SECONDS = 30.0
 
+_LOG = get_logger("serve.http")
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Routes requests to the bound :class:`DiagnosisService`."""
@@ -54,6 +73,11 @@ class _Handler(BaseHTTPRequestHandler):
     service: DiagnosisService  # injected by DiagnosisHTTPServer
     protocol_version = "HTTP/1.1"
     timeout = _SOCKET_TIMEOUT_SECONDS  # honored by StreamRequestHandler.setup()
+
+    #: Request id of the request currently being handled (one handler instance
+    #: per connection, one request at a time on its thread).
+    _request_id: Optional[str] = None
+    _last_status: int = 0
 
     # -- plumbing ----------------------------------------------------------------
 
@@ -63,9 +87,23 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_json(self, payload: Dict, status: int = 200) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._last_status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id is not None:
+            self.send_header("X-Request-ID", self._request_id)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, content_type: str, status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self._last_status = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if self._request_id is not None:
+            self.send_header("X-Request-ID", self._request_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -77,15 +115,54 @@ class _Handler(BaseHTTPRequestHandler):
         # keep-alive the unread bytes would be parsed as the next request
         # line, desynchronizing the connection.  Close it instead.
         self.close_connection = True
+        self._last_status = status
+        if self._request_id is not None:
+            payload.setdefault("request_id", self._request_id)
         self.send_response(status)
         body = json.dumps(payload).encode("utf-8")
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self.send_header("Connection", "close")
+        if self._request_id is not None:
+            self.send_header("X-Request-ID", self._request_id)
         for name, value in extra_headers:
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _handle_traced(self, method: str, handler: Callable[[], None]) -> None:
+        """Run one route under the request's identity and root span.
+
+        Accepts/generates ``X-Request-ID``, binds it to the handler thread's
+        context (so spans and structured log lines are stamped with it), and
+        parents the server-side root span under a client-sent
+        ``X-Trace-Parent``, stitching remote client and server into one trace.
+        """
+        start = time.perf_counter()
+        self._request_id = resolve_request_id(
+            self.headers.get("X-Request-ID"), new_request_id
+        )
+        self._last_status = 0
+        token = bind_request_id(self._request_id)
+        try:
+            with get_tracer().span(
+                "http.request",
+                {"method": method, "path": self.path, "request_id": self._request_id},
+                parent=SpanContext.from_header_value(self.headers.get("X-Trace-Parent")),
+                kind="request",
+            ) as root:
+                handler()
+                root.set_attribute("status", self._last_status)
+            log_event(
+                _LOG,
+                "request",
+                method=method,
+                path=self.path,
+                status=self._last_status,
+                duration_seconds=round(time.perf_counter() - start, 6),
+            )
+        finally:
+            unbind_request_id(token)
 
     def _send_exception(self, error: BaseException) -> None:
         """Map an exception through the shared protocol table and send it."""
@@ -109,16 +186,35 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes -------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        self._handle_traced("GET", self._do_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        self._handle_traced("POST", self._do_post)
+
+    def _do_get(self) -> None:
         try:
-            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            raw_path, _, query = self.path.partition("?")
+            path = raw_path.rstrip("/") or "/"
             if path == "/health":
                 self._send_json({"status": "ok", "models": self.service.registry.models()})
+            elif path == "/healthz":
+                self._send_json({"status": "ok", "tracing": get_tracer().enabled})
+            elif path == "/debug/traces":
+                self._send_json(get_tracer().debug_payload())
             elif path == "/models":
                 self._send_json({"models": self.service.models()})
             elif path == "/stats":
                 self._send_json(self.service.stats())
             elif path == "/metrics":
-                self._send_json({"service": self.service.metrics.as_dict()})
+                if wants_text_metrics(query, self.headers.get("Accept")):
+                    self._send_text(
+                        render_registries_text(
+                            [(self.service.metrics.as_dict(), {"component": "service"})]
+                        ),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                else:
+                    self._send_json({"service": self.service.metrics.as_dict()})
             elif path == "/jobs":
                 self._send_json({"jobs": [job.as_dict() for job in self.service.jobs.list()]})
             elif path.startswith("/jobs/"):
@@ -132,7 +228,7 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as error:  # noqa: BLE001 - surface as a 500, keep serving
             self._send_error_json(f"{type(error).__name__}: {error}", 500)
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+    def _do_post(self) -> None:
         try:
             path = self.path.split("?", 1)[0].rstrip("/")
             if path == "/diagnose":

@@ -39,7 +39,13 @@ class JobStatus:
 
 @dataclass
 class Job:
-    """One tracked unit of asynchronous work."""
+    """One tracked unit of asynchronous work.
+
+    Two clocks per lifecycle event: the wall-clock ``*_at`` fields are for
+    display ("when did this run"), the ``*_monotonic`` fields are what all
+    duration math uses — a wall-clock jump (NTP step, manual adjustment)
+    must never corrupt a reported queue or run time.
+    """
 
     job_id: str
     kind: str
@@ -47,6 +53,9 @@ class Job:
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    submitted_monotonic: float = field(default_factory=time.monotonic)
+    started_monotonic: Optional[float] = None
+    finished_monotonic: Optional[float] = None
     result: Optional[Dict] = None
     error: Optional[str] = None
     details: Dict = field(default_factory=dict)
@@ -54,6 +63,20 @@ class Job:
     @property
     def is_finished(self) -> bool:
         return self.status in JobStatus.FINISHED
+
+    @property
+    def queue_seconds(self) -> Optional[float]:
+        """Time spent waiting for a worker (monotonic)."""
+        if self.started_monotonic is None:
+            return None
+        return max(0.0, self.started_monotonic - self.submitted_monotonic)
+
+    @property
+    def run_seconds(self) -> Optional[float]:
+        """Time spent executing (monotonic)."""
+        if self.started_monotonic is None or self.finished_monotonic is None:
+            return None
+        return max(0.0, self.finished_monotonic - self.started_monotonic)
 
     def as_dict(self) -> Dict:
         return {
@@ -63,6 +86,8 @@ class Job:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "queue_seconds": self.queue_seconds,
+            "run_seconds": self.run_seconds,
             "result": self.result,
             "error": self.error,
             "details": dict(self.details),
@@ -96,7 +121,11 @@ class JobStore:
             return
         finished = sorted(
             (job for job in self._jobs.values() if job.is_finished),
-            key=lambda job: job.finished_at or job.submitted_at,
+            key=lambda job: (
+                job.finished_monotonic
+                if job.finished_monotonic is not None
+                else job.submitted_monotonic
+            ),
         )
         for job in finished[: len(self._jobs) - self.max_jobs]:
             del self._jobs[job.job_id]
@@ -111,6 +140,7 @@ class JobStore:
         job = self.get(job_id)
         job.status = JobStatus.RUNNING
         job.started_at = time.time()
+        job.started_monotonic = time.monotonic()
 
     def mark_succeeded(self, job_id: str, result: Dict) -> None:
         job = self.get(job_id)
@@ -119,18 +149,22 @@ class JobStore:
         # result still unset.
         job.result = result
         job.finished_at = time.time()
+        job.finished_monotonic = time.monotonic()
         job.status = JobStatus.SUCCEEDED
 
     def mark_failed(self, job_id: str, error: str) -> None:
         job = self.get(job_id)
         job.error = error
         job.finished_at = time.time()
+        job.finished_monotonic = time.monotonic()
         job.status = JobStatus.FAILED
 
     def list(self, limit: int = 50) -> List[Job]:
         """Most recent jobs first."""
         with self._lock:
-            jobs = sorted(self._jobs.values(), key=lambda job: job.submitted_at, reverse=True)
+            jobs = sorted(
+                self._jobs.values(), key=lambda job: job.submitted_monotonic, reverse=True
+            )
         return jobs[: max(0, int(limit))]
 
     def counts(self) -> Dict[str, int]:

@@ -31,6 +31,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
     "merge_counters",
+    "render_registries_text",
 ]
 
 #: Seconds-scale buckets covering sub-millisecond cache hits through
@@ -263,6 +264,16 @@ class MetricsRegistry:
             instruments = list(self._instruments.items())
         return {name: instrument.as_dict() for name, instrument in sorted(instruments)}
 
+    def render_text(self, labels: Optional[Dict[str, str]] = None) -> str:
+        """Prometheus text exposition (version 0.0.4) of this registry.
+
+        Metric names are sanitized to the Prometheus grammar (dots and
+        dashes become underscores); optional ``labels`` are attached to
+        every sample, which is how multiple registries with overlapping
+        names (per-replica registries) coexist in one scrape document.
+        """
+        return render_registries_text([(self.as_dict(), labels or {})])
+
     def __repr__(self) -> str:
         return f"MetricsRegistry(namespace={self.namespace!r}, instruments={len(self.names())})"
 
@@ -280,3 +291,88 @@ def merge_counters(snapshots: Iterable[Dict[str, Dict]]) -> Dict[str, float]:
             if record.get("type") == "counter":
                 totals[name] = totals.get(name, 0.0) + float(record["value"])
     return totals
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted metric name to the Prometheus grammar."""
+    sanitized = "".join(c if (c.isalnum() and c.isascii()) or c in "_:" else "_" for c in name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized or "_"
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    escaped = []
+    for key in sorted(labels):
+        value = str(labels[key]).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        escaped.append(f'{_prom_name(key)}="{value}"')
+    return "{" + ",".join(escaped) + "}"
+
+
+def _merge_label_sets(base: str, extra: str) -> str:
+    """Combine two pre-rendered label blocks (either may be empty)."""
+    if not base:
+        return extra
+    if not extra:
+        return base
+    return base[:-1] + "," + extra[1:]
+
+
+def render_registries_text(snapshots: Sequence[Tuple[Dict[str, Dict], Dict[str, str]]]) -> str:
+    """Prometheus text exposition over several registry snapshots.
+
+    ``snapshots`` is a sequence of ``(registry.as_dict(), labels)`` pairs.
+    ``# HELP``/``# TYPE`` headers are emitted once per sanitized metric name
+    (Prometheus rejects duplicates), with each snapshot's samples
+    distinguished by its label set — e.g. ``{replica="0"}`` vs
+    ``{replica="1"}`` for the per-replica registries behind one gateway.
+    """
+    # name -> (type, description, [(labels_text, record), ...]) in first-seen order
+    grouped: "Dict[str, Tuple[str, str, List[Tuple[str, Dict]]]]" = {}
+    order: List[str] = []
+    for snapshot, labels in snapshots:
+        labels_text = _prom_labels(dict(labels or {}))
+        for raw_name in sorted(snapshot):
+            record = snapshot[raw_name]
+            kind = str(record.get("type", "untyped"))
+            name = _prom_name(raw_name)
+            if name not in grouped:
+                grouped[name] = (kind, str(record.get("description", "")), [])
+                order.append(name)
+            grouped[name][2].append((labels_text, record))
+
+    lines: List[str] = []
+    for name in order:
+        kind, description, samples = grouped[name]
+        prom_type = {"counter": "counter", "gauge": "gauge", "histogram": "histogram"}.get(
+            kind, "untyped"
+        )
+        if description:
+            escaped = description.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {name} {escaped}")
+        lines.append(f"# TYPE {name} {prom_type}")
+        for labels_text, record in samples:
+            if kind == "histogram":
+                buckets = record.get("buckets", {})
+                count = record.get("count", 0)
+                for bound, cumulative in buckets.items():
+                    le = _merge_label_sets(labels_text, f'{{le="{bound}"}}')
+                    lines.append(f"{name}_bucket{le} {_prom_value(cumulative)}")
+                inf = _merge_label_sets(labels_text, '{le="+Inf"}')
+                lines.append(f"{name}_bucket{inf} {_prom_value(count)}")
+                lines.append(f"{name}_sum{labels_text} {_prom_value(record.get('sum', 0.0))}")
+                lines.append(f"{name}_count{labels_text} {_prom_value(count)}")
+            else:
+                lines.append(f"{name}{labels_text} {_prom_value(record.get('value'))}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -34,9 +34,42 @@ __all__ = [
     "diagnosis_args",
     "error_status",
     "error_response",
+    "resolve_request_id",
+    "wants_text_metrics",
 ]
 
 Headers = Sequence[Tuple[str, str]]
+
+#: Characters an inbound ``X-Request-ID`` may contain — anything else (or an
+#: over-long value) is replaced with a freshly generated id, so a hostile
+#: header cannot inject structure into response headers, logs, or traces.
+_REQUEST_ID_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+MAX_REQUEST_ID_LENGTH = 64
+
+
+def resolve_request_id(supplied: Optional[str], generate) -> str:
+    """The request id to use: the client's (when well-formed) or a fresh one."""
+    if supplied:
+        candidate = supplied.strip()
+        if 0 < len(candidate) <= MAX_REQUEST_ID_LENGTH and set(candidate) <= _REQUEST_ID_CHARS:
+            return candidate
+    return generate()
+
+
+def wants_text_metrics(query: str, accept: Optional[str]) -> bool:
+    """Content negotiation for ``GET /metrics``: Prometheus text vs JSON.
+
+    Text is chosen by ``?format=text`` or an ``Accept`` header naming
+    ``text/plain`` (what a Prometheus scraper sends); everything else keeps
+    the JSON compatibility payload.
+    """
+    for piece in query.split("&"):
+        name, separator, value = piece.partition("=")
+        if separator and name == "format" and value.lower() in ("text", "prometheus"):
+            return True
+    return accept is not None and "text/plain" in accept.lower()
 
 
 def parse_json_body(raw: bytes) -> Dict:

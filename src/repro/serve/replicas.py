@@ -23,6 +23,7 @@ import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..exceptions import ServeError, ServiceSaturatedError
+from ..obs import span as obs_span
 from .metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry, merge_counters
 from .service import DiagnosisService
 
@@ -191,7 +192,7 @@ class ReplicaPool:
         Raises :class:`~repro.exceptions.ServiceSaturatedError` when the
         pool-wide cap is reached or every replica queue is full.
         """
-        with self._lock:
+        with obs_span("replicas.route") as route_span, self._lock:
             if self._closed:
                 raise ServeError("replica pool is closed")
             total = sum(replica.inflight for replica in self._replicas)
@@ -216,6 +217,9 @@ class ReplicaPool:
                     f"({self.max_queue_per_replica} each); retry later",
                     retry_after=self.retry_after_seconds,
                 )
+            route_span.set_attributes(
+                {"replica": best.index, "replica_inflight": best.inflight, "pool_inflight": total}
+            )
             self._next = (best.index + 1) % count
             self._m_depth.observe(best.inflight)
             best.inflight += 1

@@ -41,6 +41,7 @@ from ..core.footprint import FootprintExtractor
 from ..core.specifics import compute_specifics_batch
 from ..exceptions import NoFaultyCasesError, ServeError
 from ..nn.dtype import resolve_dtype
+from ..obs import span as obs_span
 from .batching import BatchingEngine
 from .cache import FootprintCache
 from .jobs import Job, JobStore, WorkerPool
@@ -252,13 +253,14 @@ class DiagnosisService:
         their defect evidence into a :class:`DefectReport`.
         """
         start = time.perf_counter()
-        try:
-            report = self._diagnose_inner(
-                name, inputs, labels, version=version, metadata=metadata, timeout=timeout
-            )
-        except Exception:
-            self._m_errors.inc()
-            raise
+        with obs_span("service.diagnose", {"model": str(name)}):
+            try:
+                report = self._diagnose_inner(
+                    name, inputs, labels, version=version, metadata=metadata, timeout=timeout
+                )
+            except Exception:
+                self._m_errors.inc()
+                raise
         self._m_diagnoses.inc()
         self._m_diagnosis_seconds.observe(time.perf_counter() - start)
         return report
@@ -278,32 +280,39 @@ class DiagnosisService:
         key = self.resolve_key(name, version)
         entry = self._entry(key)
 
-        trajectories, final_probs = self.engine.extract(
-            key, inputs, timeout=timeout if timeout is not None else self.request_timeout
-        )
-        footprints = entry.extractor.from_arrays(trajectories, final_probs, labels)
-        faulty = [fp for fp in footprints if fp.is_misclassified]
+        with obs_span(
+            "service.extract", {"model_key": key, "num_cases": int(inputs.shape[0])}
+        ):
+            trajectories, final_probs = self.engine.extract(
+                key, inputs, timeout=timeout if timeout is not None else self.request_timeout
+            )
+        with obs_span("service.footprints") as fp_span:
+            footprints = entry.extractor.from_arrays(trajectories, final_probs, labels)
+            faulty = [fp for fp in footprints if fp.is_misclassified]
+            fp_span.set_attribute("num_faulty", len(faulty))
         if not faulty:
             raise NoFaultyCasesError(
                 "none of the supplied cases is misclassified by the model; nothing to diagnose"
             )
         # Batched diagnosis core: one stacked specifics computation for the
         # whole coalesced batch instead of a per-case Python loop.
-        specifics = compute_specifics_batch(faulty, entry.morph.patterns)
-        context = entry.morph.case_classifier.build_context(
-            specifics,
-            num_classes=entry.num_classes,
-            pattern_overlap=entry.pattern_overlap,
-            feature_quality=entry.feature_quality,
-            training_inconsistency=entry.training_inconsistency,
-        )
-        meta = {
-            "num_production_cases": int(inputs.shape[0]),
-            "model": name,
-            "version": key.partition("@")[2],
-        }
-        meta.update(metadata or {})
-        return entry.morph.case_classifier.aggregate(specifics, context=context, metadata=meta)
+        with obs_span("service.specifics", {"num_faulty": len(faulty)}):
+            specifics = compute_specifics_batch(faulty, entry.morph.patterns)
+        with obs_span("service.classify"):
+            context = entry.morph.case_classifier.build_context(
+                specifics,
+                num_classes=entry.num_classes,
+                pattern_overlap=entry.pattern_overlap,
+                feature_quality=entry.feature_quality,
+                training_inconsistency=entry.training_inconsistency,
+            )
+            meta = {
+                "num_production_cases": int(inputs.shape[0]),
+                "model": name,
+                "version": key.partition("@")[2],
+            }
+            meta.update(metadata or {})
+            return entry.morph.case_classifier.aggregate(specifics, context=context, metadata=meta)
 
     def diagnose_dict(self, name: str, inputs, labels, **kwargs) -> Dict:
         """JSON-friendly variant of :meth:`diagnose` (used by HTTP and jobs).
