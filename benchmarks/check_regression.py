@@ -45,6 +45,9 @@ GATES = {
     "BENCH_client.json": [
         "client_vs_raw_efficiency",
     ],
+    "BENCH_wire.json": [
+        "binary_vs_json_efficiency",
+    ],
     "BENCH_obs.json": [
         "traced_vs_untraced_throughput",
     ],

@@ -45,6 +45,13 @@ NUM_CASES = 8
 MIN_EFFICIENCY = float(os.environ.get("BENCH_CLIENT_MIN_EFFICIENCY", "0.15"))
 RESULT_PATH = os.environ.get("BENCH_CLIENT_JSON", "BENCH_client.json")
 
+#: The wire-codec comparison uses a fatter batch (still thin by production
+#: standards) so the per-request array serialization is measurable.
+WIRE_NUM_CASES = 32
+#: Floor on the binary codec's efficiency advantage over the JSON codec.
+MIN_BINARY_VS_JSON = float(os.environ.get("BENCH_WIRE_MIN_RATIO", "2.0"))
+WIRE_RESULT_PATH = os.environ.get("BENCH_WIRE_JSON", "BENCH_wire.json")
+
 
 @pytest.fixture(scope="module")
 def gateway_scenario(tmp_path_factory):
@@ -69,7 +76,6 @@ def gateway_scenario(tmp_path_factory):
     ArtifactRegistry(registry_dir).register("bench", morph)
 
     inputs, labels = test.arrays()
-    inputs, labels = inputs[:NUM_CASES].tolist(), labels[:NUM_CASES].tolist()
 
     pool = ReplicaPool.from_registry(
         registry_dir, num_replicas=1, batch_wait_seconds=0.001, num_workers=1,
@@ -125,7 +131,9 @@ def _measure_client(gateway, inputs, labels) -> float:
 
 
 def test_remote_client_overhead_vs_raw_socket(gateway_scenario):
-    gateway, inputs, labels = gateway_scenario
+    gateway, inputs_arr, labels_arr = gateway_scenario
+    inputs = inputs_arr[:NUM_CASES].tolist()
+    labels = labels_arr[:NUM_CASES].tolist()
     # The raw path posts the exact bytes the client would send, so both sides
     # hit the same response-cache entry after warm-up and the comparison
     # isolates client-side work (schema, typed errors, report parsing).
@@ -175,4 +183,90 @@ def test_remote_client_overhead_vs_raw_socket(gateway_scenario):
     assert efficiency >= MIN_EFFICIENCY, (
         f"RemoteDiagnoser reached only {efficiency:.2f}x the raw-socket rate "
         f"(floor: {MIN_EFFICIENCY}); client-side overhead has regressed"
+    )
+
+
+def _measure_codec(gateway, inputs, labels, codec: str) -> float:
+    """Measured seconds for one RemoteDiagnoser posting numpy arrays via ``codec``."""
+    client = RemoteDiagnoser(
+        gateway.url,
+        config=DiagnoserConfig(max_retries=0, wire_codec=codec),
+        default_model="bench",
+    )
+    try:
+        for _ in range(WARMUP_REQUESTS):
+            report = client.diagnose_arrays(inputs, labels)
+            assert report.num_cases >= 1
+        start = time.perf_counter()
+        for _ in range(MEASURED_REQUESTS):
+            client.diagnose_arrays(inputs, labels)
+        return time.perf_counter() - start
+    finally:
+        client.close()
+
+
+def test_binary_codec_efficiency_vs_json(gateway_scenario):
+    """The point of the binary wire format: skip the float→text→float tax.
+
+    Both clients post the *same numpy batch* to the same warmed gateway (the
+    response cache shares one entry across codecs, so the server side is a
+    memory lookup either way); the JSON client pays ``tolist`` + ``dumps`` per
+    request, the binary client a contiguous buffer copy.  The gated metric is
+    the ratio of their ``client_vs_raw_efficiency`` values, which reduces to
+    ``json_seconds / binary_seconds``.
+    """
+    gateway, inputs_arr, labels_arr = gateway_scenario
+    inputs = inputs_arr[:WIRE_NUM_CASES]
+    labels = labels_arr[:WIRE_NUM_CASES]
+
+    # Parity guard: both codecs decode to the bitwise-same report.
+    json_client = RemoteDiagnoser(gateway.url, default_model="bench")
+    binary_client = RemoteDiagnoser(
+        gateway.url, config=DiagnoserConfig(wire_codec="binary"), default_model="bench"
+    )
+    try:
+        assert (
+            json_client.diagnose_arrays(inputs, labels).to_dict()
+            == binary_client.diagnose_arrays(inputs, labels).to_dict()
+        )
+    finally:
+        json_client.close()
+        binary_client.close()
+
+    raw_payload = json.dumps({
+        "schema": "v1", "model": "bench",
+        "inputs": inputs.tolist(), "labels": labels.tolist(),
+    }).encode("utf-8")
+    raw_seconds = _measure_raw(gateway, raw_payload)
+    json_seconds = _measure_codec(gateway, inputs, labels, "json")
+    binary_seconds = _measure_codec(gateway, inputs, labels, "binary")
+
+    json_efficiency = raw_seconds / json_seconds
+    binary_efficiency = raw_seconds / binary_seconds
+    ratio = json_seconds / binary_seconds
+    print(
+        f"\nraw socket    {MEASURED_REQUESTS / raw_seconds:8.1f} req/s"
+        f"\njson client   {MEASURED_REQUESTS / json_seconds:8.1f} req/s"
+        f" (efficiency {json_efficiency:.3f})"
+        f"\nbinary client {MEASURED_REQUESTS / binary_seconds:8.1f} req/s"
+        f" (efficiency {binary_efficiency:.3f})"
+        f"\nbinary_vs_json_efficiency {ratio:.3f}"
+    )
+
+    record = {
+        "measured_requests": MEASURED_REQUESTS,
+        "cases_per_request": WIRE_NUM_CASES,
+        "raw_rps": MEASURED_REQUESTS / raw_seconds,
+        "json_client_rps": MEASURED_REQUESTS / json_seconds,
+        "binary_client_rps": MEASURED_REQUESTS / binary_seconds,
+        "json_client_vs_raw_efficiency": json_efficiency,
+        "binary_client_vs_raw_efficiency": binary_efficiency,
+        "binary_vs_json_efficiency": ratio,
+    }
+    with open(WIRE_RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+
+    assert ratio >= MIN_BINARY_VS_JSON, (
+        f"binary codec reached only {ratio:.2f}x the JSON client's efficiency "
+        f"(floor: {MIN_BINARY_VS_JSON}); the raw-array transport advantage has regressed"
     )

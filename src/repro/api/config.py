@@ -73,6 +73,15 @@ class DiagnoserConfig:
         Send ``X-Request-ID`` / ``X-Trace-Parent`` on remote requests when
         tracing is enabled, so client- and server-side spans stitch into one
         trace.  Disable for servers that must not receive client identifiers.
+    wire_codec:
+        Wire encoding of :class:`~repro.api.RemoteDiagnoser` requests (and
+        the server default of ``repro-serve``): ``"json"`` (the default and
+        compatibility path) or ``"binary"`` (framed raw-array transport; see
+        :mod:`repro.wire`).
+    connection_pool_size:
+        Keep-alive connections a :class:`~repro.api.RemoteDiagnoser` retains
+        for reuse; concurrent callers beyond the pool size open short-lived
+        extra connections.
     """
 
     # -- pipeline --------------------------------------------------------------
@@ -98,6 +107,8 @@ class DiagnoserConfig:
     retry_backoff_seconds: float = 0.25
     retry_after_cap_seconds: float = 5.0
     propagate_trace_headers: bool = True
+    wire_codec: str = "json"
+    connection_pool_size: int = 2
 
     def __post_init__(self) -> None:
         positive_ints = {
@@ -107,6 +118,7 @@ class DiagnoserConfig:
             "max_batch_cases": self.max_batch_cases,
             "num_workers": self.num_workers,
             "max_loaded_models": self.max_loaded_models,
+            "connection_pool_size": self.connection_pool_size,
         }
         for name, value in positive_ints.items():
             if int(value) < 1:
@@ -137,6 +149,12 @@ class DiagnoserConfig:
                 f"inference_dtype must be 'float32', 'float64' or None, "
                 f"got {self.inference_dtype!r}"
             )
+        # Resolved (not just name-checked) against the codec registry, so the
+        # error message always lists what is actually registered.  Imported
+        # lazily: repro.wire depends on repro.api.schema.
+        from ..wire import get_codec
+
+        get_codec(self.wire_codec)
 
     # -- projections ------------------------------------------------------------
 

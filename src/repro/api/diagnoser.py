@@ -24,7 +24,7 @@ from __future__ import annotations
 import abc
 from pathlib import Path
 from types import TracebackType
-from typing import Iterator, List, Optional, Tuple, Type, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
@@ -106,6 +106,17 @@ class Diagnoser(abc.ABC):
     @abc.abstractmethod
     def _diagnose(self, request: DiagnosisRequest) -> DiagnosisReport:
         """Backend-specific diagnosis of an already schema-checked request."""
+
+    def diagnose_many(self, requests: Sequence[DiagnosisRequest]) -> List[DiagnosisReport]:
+        """Diagnose several independent requests, reports in request order.
+
+        The base implementation is a sequential loop; backends with a wire in
+        between override it (``RemoteDiagnoser`` pipelines the batch over one
+        keep-alive connection, amortizing a round-trip per request down to
+        one send/receive phase).  Error semantics match the loop: the first
+        failing request raises its typed exception.
+        """
+        return [self.diagnose(request) for request in requests]
 
     # -- conveniences -------------------------------------------------------------
 

@@ -1,10 +1,20 @@
 """``RemoteDiagnoser``: the HTTP client backend for a ``repro-serve`` gateway.
 
-A thin, dependency-free (stdlib ``http.client``) counterpart of the serving
-front ends:
+A thin, dependency-free (stdlib ``http.client`` + ``socket``) counterpart of
+the serving front ends:
 
-* **keep-alive** — one persistent connection per diagnoser, re-established
-  transparently when the server closes it;
+* **pluggable wire codec** — requests are encoded by the codec named in
+  ``DiagnoserConfig.wire_codec`` (``"json"``, the compatibility default, or
+  ``"binary"`` for framed raw-array transport) and the response is decoded by
+  whatever ``Content-Type`` the server answers with, so a binary client still
+  reads a JSON error document;
+* **keep-alive connection pool** — up to ``config.connection_pool_size``
+  persistent connections are kept and reused; concurrent callers beyond the
+  pool size open short-lived extras instead of serializing on a lock;
+* **request pipelining** — :meth:`diagnose_many` writes a whole batch of
+  ``POST /diagnose`` requests down one connection before reading any
+  response, collapsing N round-trip latencies into one send/receive phase on
+  the thin-payload path;
 * **bounded retries** — transport failures back off exponentially, and 503
   responses honor the server's ``Retry-After`` hint (capped by
   ``DiagnoserConfig.retry_after_cap_seconds``) before the typed
@@ -21,22 +31,31 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import threading
 import time
-from typing import Dict, Optional, Tuple
+from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import urlsplit
 
 from ..exceptions import (
+    CodecError,
     ConfigurationError,
     RemoteTransportError,
+    SchemaVersionError,
     exception_from_wire,
 )
 from ..obs import current_request_id, get_tracer
+from ..wire import Codec, codec_for_content_type, get_codec
 from .config import DiagnoserConfig
 from .diagnoser import Diagnoser
-from .schema import DiagnosisReport, DiagnosisRequest, JsonDict
+from .schema import SCHEMA_VERSION, DiagnosisReport, DiagnosisRequest, JsonDict
 
 __all__ = ["RemoteDiagnoser"]
+
+#: Requests written down one pipelined connection before responses are read.
+#: Bounds the bytes in flight so a server draining slowly cannot deadlock the
+#: client against a full socket send buffer.
+_PIPELINE_DEPTH = 16
 
 
 def _parse_retry_after(value: Optional[str]) -> Optional[float]:
@@ -57,7 +76,8 @@ class RemoteDiagnoser(Diagnoser):
         Base URL of the server, e.g. ``"http://127.0.0.1:8421"``.
     config:
         Shared :class:`DiagnoserConfig`; the remote-client knobs
-        (``read_timeout``, ``max_retries``, ``retry_backoff_seconds``,
+        (``wire_codec``, ``connection_pool_size``, ``read_timeout``,
+        ``max_retries``, ``retry_backoff_seconds``,
         ``retry_after_cap_seconds``) apply here.
     default_model:
         Model name used when a convenience call omits ``model=``.
@@ -84,29 +104,40 @@ class RemoteDiagnoser(Diagnoser):
         self.default_model = default_model
         self.host: str = parts.hostname
         self.port: int = parts.port if parts.port is not None else 80
-        self._lock = threading.Lock()
-        self._connection: Optional[http.client.HTTPConnection] = None
+        self.codec: Codec = get_codec(self.config.wire_codec)
+        self._pool_lock = threading.Lock()
+        self._idle: List[http.client.HTTPConnection] = []
+        self._closed = False
 
     @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
-    # -- transport ----------------------------------------------------------------
+    # -- connection pool -----------------------------------------------------------
 
-    def _connect(self) -> http.client.HTTPConnection:
-        if self._connection is None:
-            self._connection = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.config.read_timeout
-            )
-        return self._connection
+    def _checkout(self) -> http.client.HTTPConnection:
+        """An idle pooled connection, or a fresh one when the pool is empty."""
+        with self._pool_lock:
+            if self._idle:
+                return self._idle.pop()
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.config.read_timeout
+        )
 
-    def _reset_connection(self) -> None:
-        if self._connection is not None:
-            try:
-                self._connection.close()
-            except OSError:  # pragma: no cover - close() of a dead socket
-                pass
-            self._connection = None
+    def _checkin(self, connection: http.client.HTTPConnection) -> None:
+        """Return a healthy connection to the pool (closed when full/shut down)."""
+        with self._pool_lock:
+            if not self._closed and len(self._idle) < int(self.config.connection_pool_size):
+                self._idle.append(connection)
+                return
+        self._discard(connection)
+
+    @staticmethod
+    def _discard(connection: http.client.HTTPConnection) -> None:
+        try:
+            connection.close()
+        except OSError:  # pragma: no cover - close() of a dead socket
+            pass
 
     def _trace_headers(self) -> Dict[str, str]:
         """Propagation headers for the current context (empty when disabled).
@@ -127,25 +158,36 @@ class RemoteDiagnoser(Diagnoser):
             headers["X-Trace-Parent"] = context.header_value()
         return headers
 
+    # -- transport ----------------------------------------------------------------
+
     def _roundtrip(
         self, method: str, path: str, body: Optional[bytes]
     ) -> Tuple[int, Dict[str, str], bytes]:
-        """One request over the keep-alive connection; raises on transport failure."""
-        connection = self._connect()
-        headers = {"Content-Type": "application/json"} if body is not None else {}
-        headers.update(self._trace_headers())
-        connection.request(method, path, body=body, headers=headers)
-        response = connection.getresponse()
-        payload = response.read()
+        """One request over a pooled keep-alive connection; raises on transport failure."""
+        connection = self._checkout()
+        try:
+            headers: Dict[str, str] = {}
+            if body is not None:
+                headers["Content-Type"] = self.codec.content_type
+                headers["Accept"] = self.codec.content_type
+            headers.update(self._trace_headers())
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            payload = response.read()
+        except BaseException:
+            self._discard(connection)
+            raise
         header_map = {name.lower(): value for name, value in response.getheaders()}
         if header_map.get("connection", "").lower() == "close":
-            self._reset_connection()
+            self._discard(connection)
+        else:
+            self._checkin(connection)
         return response.status, header_map, payload
 
     def _request(
         self, method: str, path: str, body: Optional[bytes] = None
-    ) -> Tuple[int, Dict[str, str], JsonDict]:
-        """Issue one HTTP request with bounded retries.
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """Issue one HTTP request with bounded retries; returns the raw body.
 
         Transport failures (connection refused/reset, protocol errors) retry
         with exponential backoff; 503 responses retry after the server's
@@ -153,36 +195,35 @@ class RemoteDiagnoser(Diagnoser):
         """
         attempts = int(self.config.max_retries) + 1
         last_error: Optional[Exception] = None
-        with self._lock:
-            for attempt in range(attempts):
-                try:
-                    status, headers, payload = self._roundtrip(method, path, body)
-                except (OSError, http.client.HTTPException) as error:
-                    self._reset_connection()
-                    last_error = error
-                    if attempt + 1 < attempts:
-                        time.sleep(self.config.retry_backoff_seconds * (2 ** attempt))
-                        continue
-                    raise RemoteTransportError(
-                        f"{method} {self.url}{path} failed after {attempts} attempt(s): "
-                        f"{type(error).__name__}: {error}"
-                    ) from error
-                if status == 503 and attempt + 1 < attempts:
-                    retry_after = _parse_retry_after(headers.get("retry-after"))
-                    delay = min(
-                        retry_after if retry_after is not None
-                        else self.config.retry_backoff_seconds,
-                        self.config.retry_after_cap_seconds,
-                    )
-                    time.sleep(delay)
+        for attempt in range(attempts):
+            try:
+                status, headers, payload = self._roundtrip(method, path, body)
+            except (OSError, http.client.HTTPException) as error:
+                last_error = error
+                if attempt + 1 < attempts:
+                    time.sleep(self.config.retry_backoff_seconds * (2 ** attempt))
                     continue
-                return status, headers, self._decode(payload)
+                raise RemoteTransportError(
+                    f"{method} {self.url}{path} failed after {attempts} attempt(s): "
+                    f"{type(error).__name__}: {error}"
+                ) from error
+            if status == 503 and attempt + 1 < attempts:
+                retry_after = _parse_retry_after(headers.get("retry-after"))
+                delay = min(
+                    retry_after if retry_after is not None
+                    else self.config.retry_backoff_seconds,
+                    self.config.retry_after_cap_seconds,
+                )
+                time.sleep(delay)
+                continue
+            return status, headers, payload
         raise RemoteTransportError(
             f"{method} {self.url}{path} failed: {last_error}"
         )  # pragma: no cover - loop always returns or raises
 
     @staticmethod
-    def _decode(payload: bytes) -> JsonDict:
+    def _decode_document(payload: bytes) -> JsonDict:
+        """Parse a JSON document response (GET endpoints, error bodies)."""
         try:
             decoded = json.loads(payload.decode("utf-8")) if payload else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -191,10 +232,28 @@ class RemoteDiagnoser(Diagnoser):
             raise RemoteTransportError("response body must be a JSON object")
         return decoded
 
-    @staticmethod
-    def _raise_for_error(status: int, headers: Dict[str, str], payload: JsonDict) -> None:
-        message = str(payload.get("error", f"HTTP {status}"))
-        error_type = payload.get("error_type")
+    def _decode_report(self, headers: Dict[str, str], payload: bytes) -> DiagnosisReport:
+        """Decode a 200 ``/diagnose`` body by its declared ``Content-Type``.
+
+        Absent/JSON content types take the JSON path (compatibility with
+        pre-codec servers); a server answering in a codec this client does
+        not know — or with bytes its declared codec cannot parse — surfaces
+        as :class:`~repro.exceptions.RemoteTransportError`.
+        """
+        try:
+            response_codec = codec_for_content_type(headers.get("content-type"))
+            return response_codec.decode_report(
+                payload, cache_state=headers.get("x-response-cache")
+            )
+        except CodecError as error:
+            raise RemoteTransportError(f"undecodable response body: {error}") from error
+
+    def _raise_for_error(self, status: int, headers: Dict[str, str], payload: bytes) -> None:
+        # Error documents are always JSON, whatever codec the request used
+        # (the negotiation contract of repro.serve.protocol).
+        document = self._decode_document(payload)
+        message = str(document.get("error", f"HTTP {status}"))
+        error_type = document.get("error_type")
         raise exception_from_wire(
             status,
             message,
@@ -205,25 +264,140 @@ class RemoteDiagnoser(Diagnoser):
     # -- the Diagnoser surface -----------------------------------------------------
 
     def _diagnose(self, request: DiagnosisRequest) -> DiagnosisReport:
-        body = json.dumps(request.to_dict()).encode("utf-8")
+        body = self.codec.encode_request(request)
         with get_tracer().span(
-            "remote.roundtrip", {"url": self.url, "body_bytes": len(body)}
+            "remote.roundtrip",
+            {"url": self.url, "body_bytes": len(body), "codec": self.codec.name},
         ) as rt_span:
             status, headers, payload = self._request("POST", "/diagnose", body)
             rt_span.set_attribute("status", status)
         if status != 200:
             self._raise_for_error(status, headers, payload)
-        return DiagnosisReport.from_dict(
-            payload, cache_state=headers.get("x-response-cache")
-        )
+        return self._decode_report(headers, payload)
+
+    def diagnose_many(self, requests: Sequence[DiagnosisRequest]) -> List[DiagnosisReport]:
+        """Diagnose a batch over one pipelined keep-alive connection.
+
+        All requests (in windows of bounded depth) are written before any
+        response is read, so the batch pays one network round trip per
+        window instead of one per request.  Reports come back in request
+        order; the first error response raises its typed exception, exactly
+        like the sequential loop it replaces.
+        """
+        pending = list(requests)
+        for request in pending:
+            if request.schema != SCHEMA_VERSION:
+                raise SchemaVersionError(
+                    f"unsupported request schema version {request.schema!r}; this "
+                    f"library speaks {SCHEMA_VERSION!r}"
+                )
+        if len(pending) <= 1:
+            return [self.diagnose(request) for request in pending]
+        bodies = [self.codec.encode_request(request) for request in pending]
+        reports: List[DiagnosisReport] = []
+        with get_tracer().span(
+            "remote.pipeline",
+            {"url": self.url, "requests": len(pending), "codec": self.codec.name},
+        ):
+            while len(reports) < len(pending):
+                window = bodies[len(reports):len(reports) + _PIPELINE_DEPTH]
+                responses = self._pipeline_window(window)
+                for status, headers, payload in responses:
+                    if status != 200:
+                        self._raise_for_error(status, headers, payload)
+                    reports.append(self._decode_report(headers, payload))
+        return reports
+
+    def _pipeline_window(
+        self, bodies: Sequence[bytes]
+    ) -> List[Tuple[int, Dict[str, str], bytes]]:
+        """Send one window of ``POST /diagnose`` bodies, read its responses.
+
+        Uses a dedicated raw socket: ``http.client`` cannot overlap requests
+        on one connection.  The socket is never pooled — pipelining leaves no
+        cleanly reusable state if anything short of full success happens.
+        """
+        trace = self._trace_headers()
+        chunks: List[bytes] = []
+        for body in bodies:
+            lines = [
+                "POST /diagnose HTTP/1.1",
+                f"Host: {self.host}:{self.port}",
+                f"Content-Type: {self.codec.content_type}",
+                f"Accept: {self.codec.content_type}",
+                f"Content-Length: {len(body)}",
+            ]
+            lines.extend(f"{name}: {value}" for name, value in trace.items())
+            chunks.append(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+            chunks.append(body)
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=self.config.read_timeout
+            ) as sock:
+                sock.sendall(b"".join(chunks))
+                reader = sock.makefile("rb")
+                try:
+                    responses: List[Tuple[int, Dict[str, str], bytes]] = []
+                    for _ in bodies:
+                        response = self._read_pipelined_response(reader)
+                        responses.append(response)
+                        status, headers, _payload = response
+                        # Both front ends close after an error; stop reading
+                        # there — the caller raises on it (or re-pipelines the
+                        # unanswered tail on a fresh connection).
+                        if status != 200 or headers.get("connection", "").lower() == "close":
+                            break
+                    return responses
+                finally:
+                    reader.close()
+        except (OSError, ValueError) as error:
+            raise RemoteTransportError(
+                f"pipelined POST {self.url}/diagnose failed: "
+                f"{type(error).__name__}: {error}"
+            ) from error
+
+    @staticmethod
+    def _read_pipelined_response(reader: BinaryIO) -> Tuple[int, Dict[str, str], bytes]:
+        """Parse one ``Content-Length``-framed HTTP/1.1 response off the stream."""
+        status_line = reader.readline()
+        if not status_line:
+            raise RemoteTransportError("server closed the connection mid-pipeline")
+        parts = status_line.decode("latin-1").rstrip("\r\n").split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise RemoteTransportError(f"malformed status line {status_line!r}")
+        try:
+            status = int(parts[1])
+        except ValueError as error:
+            raise RemoteTransportError(f"malformed status line {status_line!r}") from error
+        headers: Dict[str, str] = {}
+        while True:
+            line = reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise RemoteTransportError("server closed the connection mid-headers")
+            name, separator, value = line.decode("latin-1").partition(":")
+            if separator:
+                headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError as error:
+            raise RemoteTransportError(
+                f"malformed Content-Length {headers.get('content-length')!r}"
+            ) from error
+        payload = reader.read(length) if length > 0 else b""
+        if len(payload) != length:
+            raise RemoteTransportError("server closed the connection mid-body")
+        return status, headers, payload
 
     # -- server introspection -------------------------------------------------------
 
     def _get(self, path: str) -> JsonDict:
         status, headers, payload = self._request("GET", path)
+        document = self._decode_document(payload)
         if status != 200:
             self._raise_for_error(status, headers, payload)
-        return payload
+        return document
 
     def health(self) -> JsonDict:
         """The server's ``GET /health`` document."""
@@ -244,8 +418,14 @@ class RemoteDiagnoser(Diagnoser):
     # -- lifecycle -------------------------------------------------------------------
 
     def close(self) -> None:
-        with self._lock:
-            self._reset_connection()
+        with self._pool_lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            self._discard(connection)
 
     def __repr__(self) -> str:
-        return f"RemoteDiagnoser(url={self.url!r}, default_model={self.default_model!r})"
+        return (
+            f"RemoteDiagnoser(url={self.url!r}, codec={self.codec.name!r}, "
+            f"default_model={self.default_model!r})"
+        )

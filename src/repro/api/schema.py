@@ -25,6 +25,7 @@ import numpy as np
 
 from ..defects.spec import DefectType
 from ..exceptions import ConfigurationError, SchemaVersionError, ServeError
+from ..nn.dtype import policy_float
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -92,13 +93,19 @@ def _check_schema_version(payload: JsonDict, kind: str) -> None:
 
 
 def validate_arrays(inputs: ArrayLike, labels: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
-    """Coerce and validate a diagnosis batch into ``(float64 inputs, int64 labels)``.
+    """Coerce and validate a diagnosis batch into ``(float inputs, int64 labels)``.
 
     The single validation every backend shares — local, in-process service,
     and the HTTP front ends all funnel request payloads through here, so the
     accepted shapes (and the rejection messages) cannot drift apart.
+
+    Input dtype follows the :mod:`repro.nn.dtype` policy: float32 and float64
+    arrays pass through untouched (a float32 batch from a binary-codec client
+    is served as float32, no silent up-then-down round-trip), anything else —
+    including JSON nested lists, which numpy reads as float64 — is cast to the
+    active compute dtype (float64 unless overridden).
     """
-    inputs_arr = np.asarray(inputs, dtype=np.float64)
+    inputs_arr = policy_float(np.asarray(inputs))
     labels_arr = np.asarray(labels)
     if inputs_arr.ndim < 2:
         raise ConfigurationError(
@@ -222,6 +229,21 @@ class DiagnosisRequest:
             metadata=metadata,
             schema=str(payload.get("schema", SCHEMA_VERSION)),
         )
+
+    # -- wire forms (delegated to the codec layer) ---------------------------------
+
+    def encode(self, codec: Union[str, "object", None] = None) -> bytes:
+        """This request as wire bytes under ``codec`` (name/instance; ``None`` → JSON)."""
+        from .. import wire
+
+        return wire.get_codec(codec).encode_request(self)  # type: ignore[arg-type]
+
+    @classmethod
+    def decode(cls, data: bytes, codec: Union[str, "object", None] = None) -> "DiagnosisRequest":
+        """Parse wire bytes produced by :meth:`encode` under the same codec."""
+        from .. import wire
+
+        return wire.get_codec(codec).decode_request(data)  # type: ignore[arg-type]
 
 
 @dataclass
@@ -364,6 +386,26 @@ class DiagnosisReport:
             schema=str(payload.get("schema", SCHEMA_VERSION)),
             cache_state=cache_state,
         )
+
+    # -- wire forms (delegated to the codec layer) ---------------------------------
+
+    def encode(self, codec: Union[str, "object", None] = None) -> bytes:
+        """This report as wire bytes under ``codec`` (name/instance; ``None`` → JSON)."""
+        from .. import wire
+
+        return wire.get_codec(codec).encode_report(self)  # type: ignore[arg-type]
+
+    @classmethod
+    def decode(
+        cls,
+        data: bytes,
+        codec: Union[str, "object", None] = None,
+        cache_state: Optional[str] = None,
+    ) -> "DiagnosisReport":
+        """Parse wire bytes produced by :meth:`encode` under the same codec."""
+        from .. import wire
+
+        return wire.get_codec(codec).decode_report(data, cache_state=cache_state)  # type: ignore[arg-type]
 
     # -- bridges to the core pipeline ----------------------------------------------
 

@@ -83,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: each artifact's own policy, float32 unless saved otherwise)",
     )
     parser.add_argument(
+        "--wire-codec", choices=("json", "binary"), default="json",
+        help="default response encoding when a client sends no Accept header; "
+             "per-request Content-Type/Accept negotiation always works, and "
+             "json stays the compatibility default",
+    )
+    parser.add_argument(
         "--list", action="store_true", dest="list_only",
         help="print the registry contents and exit",
     )
@@ -151,6 +157,7 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         cache_size=args.cache_size,
         num_workers=args.workers,
         inference_dtype=args.inference_dtype,
+        wire_codec=args.wire_codec,
     )
     service_kwargs = config.service_kwargs()
 
@@ -183,6 +190,7 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
                 port=args.port,
                 verbose=args.verbose,
                 metrics=front_end_metrics,
+                default_codec=config.wire_codec,
             )
         finally:
             pool.close()
@@ -191,7 +199,13 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
 
     service = DiagnosisService(registry, metrics=front_end_metrics, **service_kwargs)
     try:
-        serve_forever(service, host=args.host, port=args.port, verbose=args.verbose)
+        serve_forever(
+            service,
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+            default_codec=config.wire_codec,
+        )
     finally:
         service.close()
         obs.get_tracer().flush()

@@ -33,6 +33,8 @@ __all__ = [
     "PayloadTooLargeError",
     "ServiceSaturatedError",
     "RemoteTransportError",
+    "CodecError",
+    "UnsupportedMediaTypeError",
     "exception_from_wire",
 ]
 
@@ -121,6 +123,25 @@ class RemoteTransportError(ServeError):
     """A remote diagnosis backend could not be reached (after bounded retries)."""
 
 
+class CodecError(ServeError):
+    """A wire payload could not be decoded by its declared codec.
+
+    Raised by :mod:`repro.wire` codecs on malformed frames — wrong magic,
+    truncated array records, dtype/shape headers that disagree with the
+    actual byte count, undecodable header JSON.  A client sending garbage
+    gets a typed 400, never a 500 or a hung connection.
+    """
+
+
+class UnsupportedMediaTypeError(ServeError):
+    """A request names a ``Content-Type``/``Accept`` no registered codec speaks.
+
+    HTTP front ends surface this as a 415 response; the payload's
+    ``error_type`` lets clients rebuild this class via
+    :func:`exception_from_wire`.
+    """
+
+
 #: HTTP status -> exception class used when a response carries no (or an
 #: unknown) ``error_type``.  Covers every error status the front ends emit
 #: for exception-derived failures.
@@ -129,6 +150,7 @@ _STATUS_FALLBACK: Dict[int, Type[ReproError]] = {
     404: ArtifactNotFoundError,
     408: RemoteTransportError,
     413: PayloadTooLargeError,
+    415: UnsupportedMediaTypeError,
     503: ServiceSaturatedError,
 }
 

@@ -36,14 +36,13 @@ from __future__ import annotations
 
 import asyncio
 import contextvars
-import hashlib
 import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Sequence, Tuple, Union
 
-from ..exceptions import ServeError, ServiceSaturatedError
+from ..exceptions import PayloadTooLargeError, ServeError, ServiceSaturatedError
 from ..obs import (
     SpanContext,
     bind_request_id,
@@ -53,12 +52,13 @@ from ..obs import (
     new_request_id,
     unbind_request_id,
 )
-from .cache import LRUCache
+from ..wire import Codec, get_codec
+from .cache import ResponseCache, ResponseEntry
 from .metrics import MetricsRegistry, render_registries_text
 from .protocol import (
     error_response,
-    parse_diagnosis_request,
-    parse_json_body,
+    negotiate_codecs,
+    request_digest,
     resolve_request_id,
     wants_text_metrics,
 )
@@ -77,6 +77,7 @@ _REASONS = {
     405: "Method Not Allowed",
     408: "Request Timeout",
     413: "Payload Too Large",
+    415: "Unsupported Media Type",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
@@ -164,6 +165,7 @@ class DiagnosisGateway:
         body_timeout: float = 30.0,
         response_cache_size: int = 1024,
         response_cache_ttl: float = 30.0,
+        default_codec: Union[str, Codec] = "json",
         metrics: Optional[MetricsRegistry] = None,
         verbose: bool = False,
     ):
@@ -208,10 +210,14 @@ class DiagnosisGateway:
         self._m_connections = self.metrics.gauge(
             "gateway.open_connections", "currently open client connections"
         )
-        #: Response cache: raw-body digest -> (expires_at, response bytes).
-        #: ``response_cache_size <= 0`` disables it (LRUCache drops every put).
+        #: Response codec used when the client sends no/any ``Accept``.
+        self.default_codec = get_codec(default_codec)
+        #: Response cache, keyed on decoded request digest with a per-codec
+        #: body-digest fast path (``response_cache_size <= 0`` disables it).
         self.response_cache_ttl = float(response_cache_ttl)
-        self._response_cache = LRUCache(int(response_cache_size))
+        self._response_cache = ResponseCache(
+            int(response_cache_size), self.response_cache_ttl
+        )
         self._m_response_hits = self.metrics.counter(
             "gateway.response_cache_hits_total", "diagnose responses served from cache"
         )
@@ -397,12 +403,16 @@ class DiagnosisGateway:
         rid_header = (("X-Request-ID", request_id),)
         if length > self.max_body_bytes:
             # The body is never read, so the stream is desynchronized: close.
-            payload = {
-                "error": f"request body of {length} bytes exceeds {self.max_body_bytes}",
-                "request_id": request_id,
-            }
-            sent = await self._respond(writer, 413, payload, False, rid_header)
-            return 413, payload, False, sent
+            # Mapped through the shared protocol table so the payload carries
+            # error_type exactly like the threading front end's 413.
+            status, payload, extra = error_response(
+                PayloadTooLargeError(
+                    f"request body of {length} bytes exceeds {self.max_body_bytes}"
+                )
+            )
+            payload["request_id"] = request_id
+            sent = await self._respond(writer, status, payload, False, tuple(extra) + rid_header)
+            return status, payload, False, sent
         body = b""
         if length:
             try:
@@ -467,7 +477,7 @@ class DiagnosisGateway:
             if request.method == "GET":
                 return await self._dispatch_get(path, query, request.headers)
             if request.method == "POST":
-                return await self._dispatch_post(path, body)
+                return await self._dispatch_post(path, body, request.headers)
             return 405, {"error": f"method {request.method} not allowed"}, ()
         except Exception as error:  # noqa: BLE001 - mapped to a status, keep serving
             if isinstance(error, ServiceSaturatedError):
@@ -512,38 +522,56 @@ class DiagnosisGateway:
         return 404, {"error": f"unknown path {path!r}"}, ()
 
     async def _dispatch_post(
-        self, path: str, body: bytes
-    ) -> Tuple[int, Dict, Sequence[Tuple[str, str]]]:
+        self, path: str, body: bytes, headers: Dict[str, str]
+    ) -> Tuple[int, Union[Dict, bytes], Sequence[Tuple[str, str]]]:
         if path == "/diagnose":
-            # The response cache answers repeated bodies on the loop itself —
-            # no admission slot, no executor hop, no recomputation.
+            # Codec negotiation first: an unknown Content-Type/Accept is a 415
+            # before any cache or admission work (negotiate_codecs raises).
+            request_codec, response_codec = negotiate_codecs(
+                headers, default=self.default_codec
+            )
+            # The response cache answers byte-identical repeats on the loop
+            # itself — no admission slot, no executor hop, no recomputation.
             tracer = get_tracer()
             with tracer.span("gateway.cache_lookup") as cache_span:
-                key, cached = self._response_cache_lookup(body)
-                cache_span.set_attribute("hit", cached is not None)
-            if cached is not None:
+                body_key, entry = self._response_cache.lookup_body(
+                    request_codec.content_type, body
+                )
+                cache_span.set_attribute("hit", entry is not None)
+            if entry is not None:
                 self._m_response_hits.inc()
-                return 200, cached, (("X-Response-Cache", "hit"),)
+                return 200, entry.encoded(response_codec), (
+                    ("X-Response-Cache", "hit"),
+                    ("Content-Type", response_codec.content_type),
+                )
             # Admission happens here on the loop — a saturated pool sheds the
-            # request before any executor slot or JSON parsing is spent on it.
+            # request before any executor slot or body decoding is spent on it.
             # (pool.acquire opens its own "replicas.route" span.)
             lease = self.pool.acquire()
             with tracer.span("gateway.dispatch", {"body_bytes": len(body)}):
-                status, payload, extra = await self._run_blocking(
-                    self._diagnose_blocking, lease, body
+                status, payload, extra, cache_state = await self._run_blocking(
+                    self._diagnose_blocking, lease, body, request_codec, body_key
                 )
-            if key is None:
-                if status == 200:
-                    return status, payload, (("X-Response-Cache", "off"),)
-                return status, payload, extra
-            self._m_response_misses.inc()
             if status != 200:
                 return status, payload, extra
-            encoded = json.dumps(payload).encode("utf-8")
-            self._response_cache.put(key, (time.monotonic() + self.response_cache_ttl, encoded))
-            return 200, encoded, (("X-Response-Cache", "miss"),)
+            if cache_state == "hit":
+                # Canonical-level hit: same decoded request first seen under a
+                # different wire form (other codec, or other JSON spelling).
+                self._m_response_hits.inc()
+            elif cache_state == "miss":
+                self._m_response_misses.inc()
+            encoded = (
+                payload.encoded(response_codec)
+                if isinstance(payload, ResponseEntry)
+                else response_codec.encode_report(payload)
+            )
+            return 200, encoded, (
+                ("X-Response-Cache", cache_state),
+                ("Content-Type", response_codec.content_type),
+            )
         if path == "/jobs":
-            return await self._run_blocking(self._submit_job_blocking, body)
+            request_codec, _ = negotiate_codecs(headers, default=self.default_codec)
+            return await self._run_blocking(self._submit_job_blocking, body, request_codec)
         return 404, {"error": f"unknown path {path!r}"}, ()
 
     async def _run_blocking(self, fn, *args):
@@ -553,27 +581,28 @@ class DiagnosisGateway:
         context = contextvars.copy_context()
         return await self._loop.run_in_executor(self._executor, context.run, fn, *args)
 
-    def _response_cache_lookup(self, body: bytes) -> Tuple[Optional[str], Optional[bytes]]:
-        """Return ``(cache key, cached response bytes or None)``.
-
-        The key is ``None`` when the cache is disabled.  Expired entries
-        count as misses (and are overwritten by the fresh store).
-        """
-        if self._response_cache.maxsize <= 0:
-            return None, None
-        key = hashlib.blake2b(body, digest_size=16).hexdigest()
-        entry = self._response_cache.get(key)
-        if entry is not None:
-            expires_at, cached = entry
-            if time.monotonic() < expires_at:
-                return key, cached
-        return key, None
-
     def _diagnose_blocking(
-        self, lease, body: bytes
-    ) -> Tuple[int, Dict, Sequence[Tuple[str, str]]]:
+        self, lease, body: bytes, codec: Codec, body_key: Optional[str]
+    ) -> Tuple[int, Union[Dict, ResponseEntry], Sequence[Tuple[str, str]], str]:
+        """Decode, consult the canonical cache level, diagnose, admit.
+
+        Returns ``(status, payload, extra headers, cache state)``; the payload
+        is a :class:`~repro.serve.cache.ResponseEntry` when the cache is on
+        (so the loop side reuses its memoized encodings) and a plain document
+        when it is off.
+        """
         try:
-            request = parse_diagnosis_request(parse_json_body(body))
+            request = codec.decode_request(body)
+            canonical_key: Optional[str] = None
+            if body_key is not None:
+                canonical_key = request_digest(request)
+                entry = self._response_cache.lookup_canonical(canonical_key)
+                if entry is not None:
+                    # Same decoded request, first seen under another wire
+                    # form: link this body for the loop-side fast path and
+                    # answer from the shared entry.
+                    self._response_cache.link(body_key, canonical_key)
+                    return 200, entry, (), "hit"
             report = lease.service.diagnose_dict(
                 request.model,
                 request.inputs,
@@ -581,15 +610,21 @@ class DiagnosisGateway:
                 version=request.version,
                 metadata=request.metadata,
             )
-            return 200, report, ()
+            if canonical_key is not None:
+                entry = self._response_cache.store(body_key, canonical_key, report)
+                return 200, entry, (), "miss"
+            return 200, report, (), "off"
         except Exception as error:  # noqa: BLE001 - mapped to a status, keep serving
-            return error_response(error)
+            status, payload, extra = error_response(error)
+            return status, payload, extra, "error"
         finally:
             lease.release()
 
-    def _submit_job_blocking(self, body: bytes) -> Tuple[int, Dict, Sequence[Tuple[str, str]]]:
+    def _submit_job_blocking(
+        self, body: bytes, codec: Codec
+    ) -> Tuple[int, Dict, Sequence[Tuple[str, str]]]:
         try:
-            request = parse_diagnosis_request(parse_json_body(body))
+            request = codec.decode_request(body)
             replica_index, job = self.pool.submit_job(
                 request.model,
                 request.inputs,

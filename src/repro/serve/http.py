@@ -43,11 +43,12 @@ from ..obs import (
     new_request_id,
     unbind_request_id,
 )
+from ..wire import Codec, get_codec
 from .metrics import render_registries_text
 from .protocol import (
     error_response,
+    negotiate_codecs,
     parse_diagnosis_request,
-    parse_json_body,
     resolve_request_id,
     wants_text_metrics,
 )
@@ -85,19 +86,7 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    def _send_json(self, payload: Dict, status: int = 200) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self._last_status = status
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        if self._request_id is not None:
-            self.send_header("X-Request-ID", self._request_id)
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_text(self, text: str, content_type: str, status: int = 200) -> None:
-        body = text.encode("utf-8")
+    def _send_body(self, body: bytes, content_type: str, status: int = 200) -> None:
         self._last_status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
@@ -106,6 +95,12 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("X-Request-ID", self._request_id)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, payload: Dict, status: int = 200) -> None:
+        self._send_body(json.dumps(payload).encode("utf-8"), "application/json", status)
+
+    def _send_text(self, text: str, content_type: str, status: int = 200) -> None:
+        self._send_body(text.encode("utf-8"), content_type, status)
 
     def _send_error_json(self, message: str, status: int) -> None:
         self._send_error_payload({"error": message}, status)
@@ -169,14 +164,31 @@ class _Handler(BaseHTTPRequestHandler):
         status, payload, extra_headers = error_response(error)
         self._send_error_payload(payload, status, extra_headers)
 
-    def _read_json_body(self) -> Dict:
+    def _read_body(self) -> bytes:
+        """The raw request body, with the size limit enforced before any read."""
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
             raise ServeError("request body required")
         limit = getattr(self.server, "max_body_bytes", _MAX_BODY_BYTES)
         if length > limit:
             raise PayloadTooLargeError(f"request body of {length} bytes exceeds {limit}")
-        return parse_json_body(self.rfile.read(length))
+        return self.rfile.read(length)
+
+    def _negotiate(self) -> "tuple[Codec, Codec]":
+        """(request codec, response codec) — shared negotiation with the gateway.
+
+        Both front ends resolve codecs through
+        :func:`repro.serve.protocol.negotiate_codecs`, so Content-Type/Accept
+        handling (JSON when unspecified, 415 on unknown media types) cannot
+        drift apart.
+        """
+        headers = {
+            "content-type": self.headers.get("Content-Type"),
+            "accept": self.headers.get("Accept"),
+        }
+        return negotiate_codecs(
+            headers, default=getattr(self.server, "default_codec", None)
+        )
 
     #: Shared with the asyncio gateway (repro.serve.protocol) so the two
     #: front ends cannot drift apart on the request schema — both parse the
@@ -232,7 +244,8 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             path = self.path.split("?", 1)[0].rstrip("/")
             if path == "/diagnose":
-                request = self._parse_request(self._read_json_body())
+                request_codec, response_codec = self._negotiate()
+                request = request_codec.decode_request(self._read_body())
                 report = self.service.diagnose_dict(
                     request.model,
                     request.inputs,
@@ -240,9 +253,12 @@ class _Handler(BaseHTTPRequestHandler):
                     version=request.version,
                     metadata=request.metadata,
                 )
-                self._send_json(report)
+                self._send_body(
+                    response_codec.encode_report(report), response_codec.content_type
+                )
             elif path == "/jobs":
-                request = self._parse_request(self._read_json_body())
+                request_codec, _ = self._negotiate()
+                request = request_codec.decode_request(self._read_body())
                 job = self.service.submit_diagnosis(
                     request.model,
                     request.inputs,
@@ -272,6 +288,7 @@ class DiagnosisHTTPServer:
         verbose: bool = False,
         max_body_bytes: int = _MAX_BODY_BYTES,
         socket_timeout: float = _SOCKET_TIMEOUT_SECONDS,
+        default_codec: "str | Codec" = "json",
     ):
         self.service = service
         handler = type(
@@ -287,6 +304,7 @@ class DiagnosisHTTPServer:
         # the body-size cap rather than by available memory.
         self._server.daemon_threads = True
         self._server.max_body_bytes = int(max_body_bytes)
+        self._server.default_codec = get_codec(default_codec)
         self._server.verbose = verbose
         self._thread: Optional[threading.Thread] = None
 
@@ -324,10 +342,16 @@ class DiagnosisHTTPServer:
 
 
 def serve_forever(
-    service: DiagnosisService, host: str = "127.0.0.1", port: int = 8421, verbose: bool = False
+    service: DiagnosisService,
+    host: str = "127.0.0.1",
+    port: int = 8421,
+    verbose: bool = False,
+    default_codec: "str | Codec" = "json",
 ) -> None:
     """Convenience wrapper: bind, announce, and serve until interrupted."""
-    server = DiagnosisHTTPServer(service, host=host, port=port, verbose=verbose)
+    server = DiagnosisHTTPServer(
+        service, host=host, port=port, verbose=verbose, default_codec=default_codec
+    )
     print(f"repro-serve listening on {server.url} "
           f"(models: {', '.join(service.registry.models()) or 'none registered'})")
     try:

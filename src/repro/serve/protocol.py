@@ -11,7 +11,12 @@ derived from single sources:
 * error responses come from :func:`error_response`, the one place an
   exception is mapped to a status code, an ``{"error", "error_type"}``
   payload, and transport headers (``Retry-After``).  Clients invert the
-  mapping with :func:`repro.exceptions.exception_from_wire`.
+  mapping with :func:`repro.exceptions.exception_from_wire`;
+* wire encodings come from :mod:`repro.wire`: request bodies are decoded by
+  the codec owning their ``Content-Type`` (absent → JSON), ``/diagnose``
+  success responses are encoded per ``Accept`` (see :func:`negotiate_codecs`),
+  unknown media types on either side are a 415, and error documents are
+  always JSON so a client can read a failure whatever codec it asked for.
 """
 
 from __future__ import annotations
@@ -26,6 +31,13 @@ from ..exceptions import (
     ReproError,
     ServeError,
     ServiceSaturatedError,
+    UnsupportedMediaTypeError,
+)
+from ..wire import (
+    codec_for_accept,
+    codec_for_content_type,
+    negotiate as negotiate_codecs,
+    request_digest,
 )
 
 __all__ = [
@@ -36,6 +48,10 @@ __all__ = [
     "error_response",
     "resolve_request_id",
     "wants_text_metrics",
+    "negotiate_codecs",
+    "codec_for_content_type",
+    "codec_for_accept",
+    "request_digest",
 ]
 
 Headers = Sequence[Tuple[str, str]]
@@ -109,6 +125,8 @@ def error_status(error: BaseException) -> int:
         return 404
     if isinstance(error, PayloadTooLargeError):
         return 413
+    if isinstance(error, UnsupportedMediaTypeError):
+        return 415
     if isinstance(error, (ServeError, ReproError, ValueError)):
         return 400
     return 500
@@ -123,7 +141,9 @@ def error_response(error: BaseException) -> Tuple[int, Dict, Headers]:
     status = error_status(error)
     if isinstance(error, ArtifactNotFoundError):
         message = f"unknown model: {error.args[0] if error.args else error}"
-    elif isinstance(error, (ServiceSaturatedError, PayloadTooLargeError)):
+    elif isinstance(
+        error, (ServiceSaturatedError, PayloadTooLargeError, UnsupportedMediaTypeError)
+    ):
         message = str(error)
     else:
         message = f"{type(error).__name__}: {error}"

@@ -73,6 +73,17 @@ def remote_diagnoser(gateway):
     diagnoser.close()
 
 
+@pytest.fixture(scope="module")
+def binary_remote_diagnoser(gateway):
+    diagnoser = RemoteDiagnoser(
+        gateway.url,
+        config=DiagnoserConfig(wire_codec="binary"),
+        default_model="tiny",
+    )
+    yield diagnoser
+    diagnoser.close()
+
+
 class TestThreeWayParity:
     def test_bitwise_identical_reports_across_backends(
         self, local_diagnoser, service_diagnoser, remote_diagnoser, tiny_splits
@@ -138,6 +149,147 @@ class TestThreeWayParity:
         report = local_diagnoser.diagnose(request)
         rebuilt = DiagnosisRequest.from_dict(request.to_dict())
         assert local_diagnoser.diagnose(rebuilt).to_dict() == report.to_dict()
+
+
+class TestWireCodecParity:
+    """The parity bar extends across wire codecs: JSON and binary clients
+    must receive bitwise-identical ``v1`` reports from the same gateway."""
+
+    def test_binary_remote_is_bitwise_identical(
+        self, local_diagnoser, remote_diagnoser, binary_remote_diagnoser, tiny_splits
+    ):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+
+        local = local_diagnoser.diagnose_arrays(inputs, labels)
+        via_json = remote_diagnoser.diagnose_arrays(inputs.tolist(), labels.tolist())
+        via_binary = binary_remote_diagnoser.diagnose_arrays(inputs, labels)
+
+        assert local.to_dict() == via_json.to_dict() == via_binary.to_dict()
+        assert binary_remote_diagnoser.codec.name == "binary"
+
+    def test_binary_remote_maps_typed_errors(self, binary_remote_diagnoser, tiny_splits):
+        # Errors are always JSON on the wire; a binary client still rebuilds
+        # the typed exception.
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        with pytest.raises(ArtifactNotFoundError):
+            binary_remote_diagnoser.diagnose_arrays(inputs, labels, model="ghost")
+        with pytest.raises(ConfigurationError):
+            binary_remote_diagnoser.diagnose_arrays(inputs[:2], labels[:1])
+
+    def test_request_id_metadata_rides_both_codecs(
+        self, remote_diagnoser, binary_remote_diagnoser, tiny_splits
+    ):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        for client in (remote_diagnoser, binary_remote_diagnoser):
+            report = client.diagnose_arrays(
+                inputs, labels, metadata={"request_id": f"rid-{client.codec.name}"}
+            )
+            assert report.request_id == f"rid-{client.codec.name}"
+
+    def test_trace_headers_propagate_under_both_codecs(self, gateway, tiny_splits, tmp_path):
+        from repro import obs
+
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        obs.configure(enabled=True, jsonl_path=str(tmp_path / "spans.jsonl"), reset=True)
+        try:
+            for codec in ("json", "binary"):
+                client = RemoteDiagnoser(
+                    gateway.url,
+                    config=DiagnoserConfig(wire_codec=codec),
+                    default_model="tiny",
+                )
+                try:
+                    report = client.diagnose_arrays(
+                        inputs, labels, metadata={"probe": f"trace-{codec}"}
+                    )
+                finally:
+                    client.close()
+                # With tracing on, the client stamps a request id that rides
+                # X-Request-ID to the server and returns in the report.
+                assert report.request_id is not None
+        finally:
+            obs.configure(enabled=False, reset=True)
+
+    def test_cross_codec_response_cache_sharing(self, pool, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        gateway = DiagnosisGateway(pool, port=0, response_cache_size=64).start()
+        json_client = RemoteDiagnoser(gateway.url, default_model="tiny")
+        binary_client = RemoteDiagnoser(
+            gateway.url, config=DiagnoserConfig(wire_codec="binary"), default_model="tiny"
+        )
+        try:
+            metadata = {"probe": "cross-codec-cache"}
+            # JSON warms the cache; the binary request decodes to the same
+            # canonical digest and must hit the same entry.
+            warm = json_client.diagnose_arrays(
+                inputs.tolist(), labels.tolist(), metadata=metadata
+            )
+            shared = binary_client.diagnose_arrays(inputs, labels, metadata=metadata)
+            assert warm.cache_state == "miss"
+            assert shared.cache_state == "hit"
+            assert warm.to_dict() == shared.to_dict()
+            # The linked body alias now serves the binary repeat pre-decode.
+            again = binary_client.diagnose_arrays(inputs, labels, metadata=metadata)
+            assert again.cache_state == "hit"
+            assert again.to_dict() == warm.to_dict()
+        finally:
+            json_client.close()
+            binary_client.close()
+            gateway.shutdown()
+
+
+class TestDiagnoseMany:
+    def _requests(self, tiny_splits, count):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        return [
+            DiagnosisRequest(
+                model="tiny", inputs=inputs, labels=labels, metadata={"batch": str(i)}
+            )
+            for i in range(count)
+        ]
+
+    def test_pipelined_reports_match_sequential(
+        self, remote_diagnoser, local_diagnoser, tiny_splits
+    ):
+        requests = self._requests(tiny_splits, 3)
+        pipelined = remote_diagnoser.diagnose_many(requests)
+        sequential = [local_diagnoser.diagnose(request) for request in requests]
+        assert len(pipelined) == 3
+        for got, expected, request in zip(pipelined, sequential, requests):
+            assert got.to_dict() == expected.to_dict()
+            assert got.metadata["batch"] == request.metadata["batch"]  # order kept
+
+    def test_pipelining_under_binary_codec(self, binary_remote_diagnoser, tiny_splits):
+        requests = self._requests(tiny_splits, 3)
+        reports = binary_remote_diagnoser.diagnose_many(requests)
+        assert [r.metadata["batch"] for r in reports] == ["0", "1", "2"]
+
+    def test_single_request_falls_back_to_diagnose(self, remote_diagnoser, tiny_splits):
+        requests = self._requests(tiny_splits, 1)
+        reports = remote_diagnoser.diagnose_many(requests)
+        assert len(reports) == 1
+        assert reports[0].to_dict() == remote_diagnoser.diagnose(requests[0]).to_dict()
+        assert remote_diagnoser.diagnose_many([]) == []
+
+    def test_mid_window_error_is_typed(self, remote_diagnoser, tiny_splits):
+        requests = self._requests(tiny_splits, 3)
+        requests[1] = DiagnosisRequest(
+            model="ghost", inputs=requests[1].inputs, labels=requests[1].labels
+        )
+        with pytest.raises(ArtifactNotFoundError):
+            remote_diagnoser.diagnose_many(requests)
+
+    def test_base_backends_share_the_api(self, local_diagnoser, service_diagnoser, tiny_splits):
+        requests = self._requests(tiny_splits, 2)
+        local = local_diagnoser.diagnose_many(requests)
+        service = service_diagnoser.diagnose_many(requests)
+        assert [r.to_dict() for r in local] == [r.to_dict() for r in service]
 
 
 class TestStreamingDiagnosis:

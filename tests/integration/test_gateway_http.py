@@ -182,6 +182,10 @@ class TestGatewayErrorPaths:
                     "model": "tiny", "inputs": inputs.tolist(), "labels": labels.tolist(),
                 })
             assert excinfo.value.code == 413
+            # Unified error mapping: the payload names the typed error.
+            document = json.loads(excinfo.value.read())
+            assert document["error_type"] == "PayloadTooLargeError"
+            assert "request_id" in document
         finally:
             small.shutdown()
 
@@ -361,6 +365,157 @@ class TestGatewayResponseCache:
             assert post_state(payload) == "miss"  # ttl=0: instantly stale
         finally:
             gateway.shutdown()
+
+
+class TestGatewayWireNegotiation:
+    """Content-Type/Accept negotiation on the async front end."""
+
+    @pytest.fixture(scope="class")
+    def payload(self, tiny_splits):
+        _, test = tiny_splits
+        inputs, labels = test.arrays()
+        return {"model": "tiny", "inputs": inputs.tolist(), "labels": labels.tolist()}
+
+    @staticmethod
+    def _exchange(url, body, headers, timeout=60):
+        request = urllib.request.Request(url, data=body, headers=headers)
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.read(), dict(response.headers)
+
+    def test_binary_round_trip_matches_json(self, gateway, payload):
+        from repro.api import DiagnosisRequest
+        from repro.wire import BinaryCodec
+
+        binary = BinaryCodec()
+        frame = binary.encode_request(DiagnosisRequest.from_dict(dict(payload)))
+        body, headers = self._exchange(
+            gateway.url + "/diagnose",
+            frame,
+            {"Content-Type": binary.content_type, "Accept": binary.content_type},
+        )
+        assert headers["Content-Type"] == binary.content_type
+        via_binary = binary.decode_report(body)
+        via_json = _post(gateway.url + "/diagnose", payload)
+        assert via_binary.to_dict() == via_json
+
+    def test_response_codec_follows_accept_not_request_codec(self, gateway, payload):
+        from repro.api import DiagnosisRequest
+        from repro.wire import BinaryCodec
+
+        frame = BinaryCodec().encode_request(DiagnosisRequest.from_dict(dict(payload)))
+        # Binary in, JSON out (explicit Accept).
+        body, headers = self._exchange(
+            gateway.url + "/diagnose",
+            frame,
+            {"Content-Type": "application/x-repro-binary", "Accept": "application/json"},
+        )
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body)["num_cases"] >= 1
+        # Binary in, no Accept: the server default (JSON) answers.
+        body, headers = self._exchange(
+            gateway.url + "/diagnose", frame,
+            {"Content-Type": "application/x-repro-binary"},
+        )
+        assert headers["Content-Type"] == "application/json"
+
+    def test_unknown_content_type_is_415(self, gateway, payload):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._exchange(
+                gateway.url + "/diagnose",
+                json.dumps(payload).encode(),
+                {"Content-Type": "text/csv"},
+            )
+        assert excinfo.value.code == 415
+        document = json.loads(excinfo.value.read())
+        assert document["error_type"] == "UnsupportedMediaTypeError"
+        assert "request_id" in document
+
+    def test_unsatisfiable_accept_is_415(self, gateway, payload):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._exchange(
+                gateway.url + "/diagnose",
+                json.dumps(payload).encode(),
+                {"Content-Type": "application/json", "Accept": "text/html"},
+            )
+        assert excinfo.value.code == 415
+
+    def test_malformed_binary_frame_is_400_and_errors_stay_json(self, gateway):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._exchange(
+                gateway.url + "/diagnose",
+                b"RPWB garbage that is not a frame",
+                {
+                    "Content-Type": "application/x-repro-binary",
+                    "Accept": "application/x-repro-binary",
+                },
+            )
+        assert excinfo.value.code == 400
+        # Error responses are always JSON, even for binary-speaking clients.
+        assert excinfo.value.headers["Content-Type"] == "application/json"
+        document = json.loads(excinfo.value.read())
+        assert document["error_type"] == "CodecError"
+
+    def test_binary_jobs_submission(self, gateway, payload):
+        from repro.api import DiagnosisRequest
+        from repro.wire import BinaryCodec
+
+        frame = BinaryCodec().encode_request(DiagnosisRequest.from_dict(dict(payload)))
+        body, headers = self._exchange(
+            gateway.url + "/jobs", frame,
+            {"Content-Type": "application/x-repro-binary"},
+        )
+        ticket = json.loads(body)  # tickets are JSON documents
+        assert ticket["status"] == "pending"
+
+    def test_cache_hit_across_codecs_over_http(self, pool, payload):
+        from repro.api import DiagnosisRequest
+        from repro.wire import BinaryCodec
+
+        binary = BinaryCodec()
+        document = dict(payload, metadata={"probe": "http-cross-codec"})
+        frame = binary.encode_request(DiagnosisRequest.from_dict(dict(document)))
+        gateway = DiagnosisGateway(pool, port=0, response_cache_size=64).start()
+        try:
+            request = urllib.request.Request(
+                gateway.url + "/diagnose",
+                data=json.dumps(document).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=60) as response:
+                warm = response.read()
+                assert response.headers["X-Response-Cache"] == "miss"
+
+            # Same decoded request over the binary codec: canonical-level hit.
+            first, headers = self._exchange(
+                gateway.url + "/diagnose", frame,
+                {"Content-Type": binary.content_type, "Accept": binary.content_type},
+            )
+            assert headers["X-Response-Cache"] == "hit"
+            assert binary.decode_report(first).to_dict() == json.loads(warm)
+
+            # Byte-identical binary repeat: fast path, bitwise-identical bytes.
+            second, headers = self._exchange(
+                gateway.url + "/diagnose", frame,
+                {"Content-Type": binary.content_type, "Accept": binary.content_type},
+            )
+            assert headers["X-Response-Cache"] == "hit"
+            assert second == first
+        finally:
+            gateway.shutdown()
+
+    def test_request_id_header_echoed_for_binary_requests(self, gateway, payload):
+        from repro.api import DiagnosisRequest
+        from repro.wire import BinaryCodec
+
+        frame = BinaryCodec().encode_request(DiagnosisRequest.from_dict(dict(payload)))
+        _, headers = self._exchange(
+            gateway.url + "/diagnose", frame,
+            {
+                "Content-Type": "application/x-repro-binary",
+                "X-Request-ID": "wire-echo-1",
+            },
+        )
+        assert headers["X-Request-ID"] == "wire-echo-1"
 
 
 class TestThreadingServerHardening:
