@@ -51,6 +51,9 @@ GATES = {
     "BENCH_obs.json": [
         "traced_vs_untraced_throughput",
     ],
+    "BENCH_resilience.json": [
+        "armed_vs_disarmed_throughput",
+    ],
 }
 
 DEFAULT_TOLERANCE = 0.30

@@ -66,9 +66,26 @@ class DiagnoserConfig:
     max_retries:
         Bounded retry budget for transport failures and 503 responses.
     retry_backoff_seconds:
-        Base sleep between transport retries (doubled per attempt).
+        Base of the full-jitter exponential backoff between transport
+        retries: attempt ``n`` sleeps ``uniform(0, base * 2**n)``, so a
+        burst of failing clients decorrelates instead of retrying in
+        lock-step.
     retry_after_cap_seconds:
         Upper bound honored for a server-sent ``Retry-After`` hint.
+    deadline_seconds:
+        Total budget stamped on remote requests as ``X-Deadline-Ms``; the
+        server refuses work the budget can no longer pay for (HTTP 504).
+        ``None`` (the default) sends no deadline.
+    hedge_after_seconds:
+        When set, a ``/diagnose`` call that has not answered after this many
+        seconds launches one backup attempt; the first response wins and the
+        loser is abandoned.  Tail-latency insurance for idempotent reads;
+        ``None`` disables hedging.
+    breaker_failure_threshold, breaker_reset_seconds:
+        Client-side circuit breaker of :class:`~repro.api.RemoteDiagnoser`:
+        after ``breaker_failure_threshold`` consecutive failures calls fail
+        locally with :class:`~repro.exceptions.CircuitOpenError` until a
+        half-open probe succeeds after ``breaker_reset_seconds``.
     propagate_trace_headers:
         Send ``X-Request-ID`` / ``X-Trace-Parent`` on remote requests when
         tracing is enabled, so client- and server-side spans stitch into one
@@ -109,6 +126,10 @@ class DiagnoserConfig:
     propagate_trace_headers: bool = True
     wire_codec: str = "json"
     connection_pool_size: int = 2
+    deadline_seconds: Optional[float] = None
+    hedge_after_seconds: Optional[float] = None
+    breaker_failure_threshold: int = 5
+    breaker_reset_seconds: float = 5.0
 
     def __post_init__(self) -> None:
         positive_ints = {
@@ -119,6 +140,7 @@ class DiagnoserConfig:
             "num_workers": self.num_workers,
             "max_loaded_models": self.max_loaded_models,
             "connection_pool_size": self.connection_pool_size,
+            "breaker_failure_threshold": self.breaker_failure_threshold,
         }
         for name, value in positive_ints.items():
             if int(value) < 1:
@@ -137,10 +159,17 @@ class DiagnoserConfig:
             "max_retries": self.max_retries,
             "retry_backoff_seconds": self.retry_backoff_seconds,
             "retry_after_cap_seconds": self.retry_after_cap_seconds,
+            "breaker_reset_seconds": self.breaker_reset_seconds,
         }
         for name, value in non_negative.items():
             if float(value) < 0:
                 raise ConfigurationError(f"{name} must be >= 0, got {value}")
+        for name, value in (
+            ("deadline_seconds", self.deadline_seconds),
+            ("hedge_after_seconds", self.hedge_after_seconds),
+        ):
+            if value is not None and float(value) <= 0:
+                raise ConfigurationError(f"{name} must be > 0 or None, got {value}")
         if self.inference_dtype is not None and self.inference_dtype not in (
             "float32",
             "float64",

@@ -15,10 +15,22 @@ the serving front ends:
   ``POST /diagnose`` requests down one connection before reading any
   response, collapsing N round-trip latencies into one send/receive phase on
   the thin-payload path;
-* **bounded retries** — transport failures back off exponentially, and 503
-  responses honor the server's ``Retry-After`` hint (capped by
+* **bounded retries with full jitter** — transport failures back off by
+  ``uniform(0, base * 2**attempt)`` so a burst of failing clients
+  decorrelates instead of retrying in lock-step, and 503 responses honor
+  the server's ``Retry-After`` hint (capped by
   ``DiagnoserConfig.retry_after_cap_seconds``) before the typed
   :class:`~repro.exceptions.ServiceSaturatedError` is surfaced;
+* **a circuit breaker per endpoint** — after
+  ``DiagnoserConfig.breaker_failure_threshold`` consecutive failures
+  (transport errors after retries, or 5xx responses) calls fail locally
+  with :class:`~repro.exceptions.CircuitOpenError` until a half-open probe
+  succeeds, so this client stops feeding a struggling server;
+* **deadlines and hedging** — ``DiagnoserConfig.deadline_seconds`` stamps
+  the remaining budget on the wire as ``X-Deadline-Ms`` (an ambient server
+  deadline propagates automatically in server-to-server calls), and
+  ``DiagnoserConfig.hedge_after_seconds`` launches one backup ``/diagnose``
+  attempt when the first is slow — first response wins;
 * **typed errors** — every non-200 response is mapped back onto the
   :mod:`repro.exceptions` hierarchy via
   :func:`~repro.exceptions.exception_from_wire`, so remote callers catch the
@@ -29,8 +41,11 @@ the serving front ends:
 
 from __future__ import annotations
 
+import contextvars
 import http.client
 import json
+import queue
+import random
 import socket
 import threading
 import time
@@ -40,11 +55,20 @@ from urllib.parse import urlsplit
 from ..exceptions import (
     CodecError,
     ConfigurationError,
+    DeadlineExceededError,
     RemoteTransportError,
     SchemaVersionError,
     exception_from_wire,
 )
 from ..obs import current_request_id, get_tracer
+from ..resilience import (
+    DEADLINE_HEADER,
+    CircuitBreaker,
+    Deadline,
+    corrupt_bytes,
+    current_deadline,
+    get_injector,
+)
 from ..wire import Codec, codec_for_content_type, get_codec
 from .config import DiagnoserConfig
 from .diagnoser import Diagnoser
@@ -81,6 +105,9 @@ class RemoteDiagnoser(Diagnoser):
         ``retry_after_cap_seconds``) apply here.
     default_model:
         Model name used when a convenience call omits ``model=``.
+    rng:
+        Source of the retry jitter (``random.Random``); injectable so tests
+        can assert backoff schedules deterministically.
     """
 
     def __init__(
@@ -88,6 +115,7 @@ class RemoteDiagnoser(Diagnoser):
         url: str,
         config: Optional[DiagnoserConfig] = None,
         default_model: Optional[str] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         parts = urlsplit(url)
         if parts.scheme != "http" or not parts.hostname:
@@ -108,6 +136,9 @@ class RemoteDiagnoser(Diagnoser):
         self._pool_lock = threading.Lock()
         self._idle: List[http.client.HTTPConnection] = []
         self._closed = False
+        self._rng = rng if rng is not None else random.Random()
+        self._breaker_lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
 
     @property
     def url(self) -> str:
@@ -160,16 +191,60 @@ class RemoteDiagnoser(Diagnoser):
 
     # -- transport ----------------------------------------------------------------
 
+    def _call_deadline(self) -> Optional[Deadline]:
+        """The budget governing one logical call: ambient first, config second.
+
+        An ambient deadline (a server making a downstream call on behalf of a
+        request that already carries one) always wins — the caller's patience
+        is what matters, not this client's default.
+        """
+        ambient = current_deadline()
+        if ambient is not None:
+            return ambient
+        if self.config.deadline_seconds is not None:
+            return Deadline.after(self.config.deadline_seconds)
+        return None
+
+    def _breaker(self, path: str) -> CircuitBreaker:
+        with self._breaker_lock:
+            breaker = self._breakers.get(path)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.config.breaker_failure_threshold,
+                    reset_seconds=self.config.breaker_reset_seconds,
+                    name=f"{self.url}{path}",
+                )
+                self._breakers[path] = breaker
+            return breaker
+
+    def breaker_snapshot(self) -> Dict[str, Dict]:
+        """Per-endpoint circuit-breaker state (observability)."""
+        with self._breaker_lock:
+            return {path: breaker.snapshot() for path, breaker in self._breakers.items()}
+
     def _roundtrip(
-        self, method: str, path: str, body: Optional[bytes]
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         """One request over a pooled keep-alive connection; raises on transport failure."""
+        injector = get_injector()
+        if injector.enabled:
+            mode = injector.inject("remote.send")
+            if mode == "drop":
+                raise ConnectionResetError("chaos: connection dropped before send")
+            if mode == "corrupt" and body is not None:
+                body = corrupt_bytes(body)
         connection = self._checkout()
         try:
             headers: Dict[str, str] = {}
             if body is not None:
                 headers["Content-Type"] = self.codec.content_type
                 headers["Accept"] = self.codec.content_type
+            if deadline is not None:
+                headers[DEADLINE_HEADER] = deadline.header_value()
             headers.update(self._trace_headers())
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
@@ -187,21 +262,55 @@ class RemoteDiagnoser(Diagnoser):
     def _request(
         self, method: str, path: str, body: Optional[bytes] = None
     ) -> Tuple[int, Dict[str, str], bytes]:
-        """Issue one HTTP request with bounded retries; returns the raw body.
+        """Issue one HTTP request, gated by the endpoint's circuit breaker.
+
+        The breaker counts whole logical calls: a transport failure that
+        survives every retry, or a 5xx response, is one failure; anything the
+        server answered below 500 is a success.  An open breaker raises
+        :class:`~repro.exceptions.CircuitOpenError` without touching the
+        network.
+        """
+        breaker = self._breaker(path)
+        breaker.allow()
+        try:
+            status, headers, payload = self._request_with_retries(method, path, body)
+        except DeadlineExceededError:
+            # The caller's budget ran out — says nothing about server health.
+            breaker.record_success()
+            raise
+        except Exception:
+            breaker.record_failure()
+            raise
+        if status >= 500:
+            breaker.record_failure()
+        else:
+            breaker.record_success()
+        return status, headers, payload
+
+    def _request_with_retries(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """The bounded retry loop; returns the raw response triple.
 
         Transport failures (connection refused/reset, protocol errors) retry
-        with exponential backoff; 503 responses retry after the server's
-        ``Retry-After`` hint.  Both budgets share ``config.max_retries``.
+        with full-jitter exponential backoff — ``uniform(0, base * 2**n)`` —
+        so concurrent failing clients spread out; 503 responses retry after
+        the server's ``Retry-After`` hint.  Both budgets share
+        ``config.max_retries``, and a deadline bounds every sleep.
         """
+        deadline = self._call_deadline()
         attempts = int(self.config.max_retries) + 1
-        last_error: Optional[Exception] = None
         for attempt in range(attempts):
+            if deadline is not None and deadline.expired():
+                raise DeadlineExceededError(
+                    f"deadline expired before attempt {attempt + 1} of "
+                    f"{method} {self.url}{path}"
+                )
             try:
-                status, headers, payload = self._roundtrip(method, path, body)
+                status, headers, payload = self._roundtrip(method, path, body, deadline)
             except (OSError, http.client.HTTPException) as error:
-                last_error = error
                 if attempt + 1 < attempts:
-                    time.sleep(self.config.retry_backoff_seconds * (2 ** attempt))
+                    self._backoff(attempt, deadline)
                     continue
                 raise RemoteTransportError(
                     f"{method} {self.url}{path} failed after {attempts} attempt(s): "
@@ -214,12 +323,24 @@ class RemoteDiagnoser(Diagnoser):
                     else self.config.retry_backoff_seconds,
                     self.config.retry_after_cap_seconds,
                 )
-                time.sleep(delay)
+                self._sleep_bounded(delay, deadline)
                 continue
             return status, headers, payload
         raise RemoteTransportError(
-            f"{method} {self.url}{path} failed: {last_error}"
+            f"{method} {self.url}{path} failed"
         )  # pragma: no cover - loop always returns or raises
+
+    def _backoff(self, attempt: int, deadline: Optional[Deadline]) -> None:
+        """Full-jitter exponential backoff (AWS-style): ``uniform(0, base * 2**n)``."""
+        ceiling = self.config.retry_backoff_seconds * (2 ** attempt)
+        self._sleep_bounded(self._rng.uniform(0.0, ceiling), deadline)
+
+    @staticmethod
+    def _sleep_bounded(delay: float, deadline: Optional[Deadline]) -> None:
+        if deadline is not None:
+            delay = min(delay, max(0.0, deadline.remaining()))
+        if delay > 0:
+            time.sleep(delay)
 
     @staticmethod
     def _decode_document(payload: bytes) -> JsonDict:
@@ -269,11 +390,60 @@ class RemoteDiagnoser(Diagnoser):
             "remote.roundtrip",
             {"url": self.url, "body_bytes": len(body), "codec": self.codec.name},
         ) as rt_span:
-            status, headers, payload = self._request("POST", "/diagnose", body)
+            if self.config.hedge_after_seconds is not None:
+                rt_span.set_attribute("hedged", True)
+                status, headers, payload = self._hedged_request("/diagnose", body)
+            else:
+                status, headers, payload = self._request("POST", "/diagnose", body)
             rt_span.set_attribute("status", status)
         if status != 200:
             self._raise_for_error(status, headers, payload)
         return self._decode_report(headers, payload)
+
+    def _hedged_request(
+        self, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """Issue a request with one hedged backup; the first response wins.
+
+        If the primary has not answered after ``config.hedge_after_seconds``,
+        a second identical attempt launches on its own connection.  Whichever
+        answers first is returned; the loser runs to completion on its daemon
+        thread and is discarded.  Both attempts go through :meth:`_request`,
+        so each pays the breaker gate and retry budget independently.  The
+        hedge only narrows tail latency of idempotent reads — it never turns
+        a failure into a success the primary would not have had: errors are
+        held until both attempts have reported.
+        """
+        results: "queue.Queue[Tuple[bool, object]]" = queue.Queue()
+        ambient = contextvars.copy_context()
+
+        def attempt() -> None:
+            try:
+                results.put((True, ambient.run(self._request, "POST", path, body)))
+            except BaseException as error:  # noqa: BLE001 - relayed to the caller
+                results.put((False, error))
+
+        launched = 1
+        threading.Thread(target=attempt, daemon=True, name="repro-remote-hedge").start()
+        first_error: Optional[BaseException] = None
+        received = 0
+        while received < launched:
+            try:
+                ok, outcome = results.get(timeout=self.config.hedge_after_seconds)
+            except queue.Empty:
+                if launched == 1:  # primary is slow: launch the one backup
+                    launched += 1
+                    threading.Thread(
+                        target=attempt, daemon=True, name="repro-remote-hedge"
+                    ).start()
+                continue
+            received += 1
+            if ok:
+                return outcome  # type: ignore[return-value]
+            if first_error is None:
+                first_error = outcome  # type: ignore[assignment]
+        assert first_error is not None
+        raise first_error
 
     def diagnose_many(self, requests: Sequence[DiagnosisRequest]) -> List[DiagnosisReport]:
         """Diagnose a batch over one pipelined keep-alive connection.
@@ -317,6 +487,16 @@ class RemoteDiagnoser(Diagnoser):
         on one connection.  The socket is never pooled — pipelining leaves no
         cleanly reusable state if anything short of full success happens.
         """
+        injector = get_injector()
+        if injector.enabled:
+            mode = injector.inject("remote.send")
+            if mode == "drop":
+                raise RemoteTransportError(
+                    "chaos: connection dropped before pipelined send"
+                )
+            if mode == "corrupt" and bodies:
+                bodies = [corrupt_bytes(bodies[0]), *bodies[1:]]
+        deadline = self._call_deadline()
         trace = self._trace_headers()
         chunks: List[bytes] = []
         for body in bodies:
@@ -327,6 +507,8 @@ class RemoteDiagnoser(Diagnoser):
                 f"Accept: {self.codec.content_type}",
                 f"Content-Length: {len(body)}",
             ]
+            if deadline is not None:
+                lines.append(f"{DEADLINE_HEADER}: {deadline.header_value()}")
             lines.extend(f"{name}: {value}" for name, value in trace.items())
             chunks.append(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
             chunks.append(body)

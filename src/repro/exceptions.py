@@ -35,6 +35,8 @@ __all__ = [
     "RemoteTransportError",
     "CodecError",
     "UnsupportedMediaTypeError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
     "exception_from_wire",
 ]
 
@@ -142,6 +144,30 @@ class UnsupportedMediaTypeError(ServeError):
     """
 
 
+class DeadlineExceededError(ServeError):
+    """A request's deadline budget ran out before (or during) a serving stage.
+
+    Carried on the wire as ``X-Deadline-Ms`` (remaining milliseconds) and
+    enforced at every stage boundary (admission, batching, extraction); HTTP
+    front ends surface it as a 504 — crucially *before* the diagnosis work is
+    spent, so a caller that has already given up costs nothing downstream.
+    """
+
+
+class CircuitOpenError(ServeError):
+    """A client-side circuit breaker is open; the call was refused locally.
+
+    Raised by :class:`~repro.resilience.CircuitBreaker` instead of hitting a
+    server that has been failing consecutively — the client's contribution to
+    not extending an outage with a retry storm.  Carries ``retry_after``
+    (seconds until the breaker's next half-open probe window).
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
 #: HTTP status -> exception class used when a response carries no (or an
 #: unknown) ``error_type``.  Covers every error status the front ends emit
 #: for exception-derived failures.
@@ -152,6 +178,7 @@ _STATUS_FALLBACK: Dict[int, Type[ReproError]] = {
     413: PayloadTooLargeError,
     415: UnsupportedMediaTypeError,
     503: ServiceSaturatedError,
+    504: DeadlineExceededError,
 }
 
 

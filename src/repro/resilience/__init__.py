@@ -1,0 +1,68 @@
+"""repro.resilience — fault tolerance as a tested subsystem, not a hope.
+
+The dependability layer of the serving stack (the interlock/degraded-mode
+analogue of the reproduction's instrumentation):
+
+* :mod:`repro.resilience.deadline` — request deadlines propagated as a
+  budget (``X-Deadline-Ms`` on the wire, a ``contextvars`` variable inside
+  the process) so expired requests are refused *before* work is spent.
+* :mod:`repro.resilience.chaos` — a process-global, seeded
+  :class:`FaultInjector` with named sites compiled into the stack; the
+  chaos harness that keeps the rest of this package honest.
+* :mod:`repro.resilience.health` — per-replica failure/latency tracking,
+  quarantine with exponential re-admission, and the policy knobs the
+  :class:`~repro.serve.replicas.ReplicaPool` supervisor runs on.
+* :mod:`repro.resilience.breaker` — a client-side circuit breaker
+  (closed/open/half-open) so retry storms stop at their source.
+
+Everything here is stdlib-only and imports nothing from :mod:`repro.serve`
+(the serving stack imports *this* package), mirroring the cycle-free
+discipline of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+from .breaker import BreakerState, CircuitBreaker
+from .chaos import (
+    FAULT_MODES,
+    FAULT_SITES,
+    FaultInjector,
+    FaultPlan,
+    chaos_spec_from_dict,
+    configure_chaos,
+    corrupt_bytes,
+    get_injector,
+)
+from .deadline import (
+    DEADLINE_HEADER,
+    Deadline,
+    bind_deadline,
+    check_deadline,
+    current_deadline,
+    remaining_budget,
+    unbind_deadline,
+)
+from .health import HealthPolicy, HealthState, ReplicaHealth
+
+__all__ = [
+    "Deadline",
+    "DEADLINE_HEADER",
+    "bind_deadline",
+    "unbind_deadline",
+    "current_deadline",
+    "check_deadline",
+    "remaining_budget",
+    "FaultPlan",
+    "FaultInjector",
+    "FAULT_SITES",
+    "FAULT_MODES",
+    "get_injector",
+    "configure_chaos",
+    "chaos_spec_from_dict",
+    "corrupt_bytes",
+    "HealthPolicy",
+    "HealthState",
+    "ReplicaHealth",
+    "BreakerState",
+    "CircuitBreaker",
+]

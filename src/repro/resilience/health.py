@@ -1,0 +1,224 @@
+"""Replica health: failure tracking, quarantine, and probed re-admission.
+
+A replica that hangs or errors must stop receiving traffic *before* clients
+notice — and must come back on its own once it recovers, because 3 a.m.
+operators are not a failover mechanism.  This module is the health state
+machine; :class:`~repro.serve.replicas.ReplicaPool` owns the wiring (routing
+skips quarantined replicas, a supervisor thread probes them).
+
+* :class:`HealthPolicy` — the knobs: consecutive-failure threshold, probe
+  cadence, and the quarantine schedule (exponential per repeated ejection,
+  capped, so a flapping replica is probed less and less often).
+* :class:`ReplicaHealth` — one replica's state: ``healthy`` or
+  ``quarantined``, consecutive/total failure counts, a rolling latency
+  window, and the monotonic instant at which a quarantined replica becomes
+  probe-eligible.
+
+Only *infrastructure* faults count against health (engine timeouts, a
+stopped engine); a client's bad request says nothing about the replica and
+is classified out by the pool before it reaches :meth:`ReplicaHealth.record_failure`.
+All mutation is lock-guarded — admission, release, and the supervisor thread
+race on this state by design.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["HealthState", "HealthPolicy", "ReplicaHealth"]
+
+
+class HealthState:
+    """The two states of a replica (plain strings: they go straight to JSON)."""
+
+    HEALTHY = "healthy"
+    QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """The knobs of replica supervision.
+
+    ``failure_threshold`` consecutive infrastructure faults eject a replica;
+    it is then probed every ``probe_interval_seconds`` once its quarantine
+    lapse has passed.  The lapse starts at ``quarantine_seconds`` and
+    multiplies by ``quarantine_backoff`` on every re-ejection (capped at
+    ``max_quarantine_seconds``), so a replica that keeps failing its probes
+    backs off instead of being hammered.  ``latency_window`` bounds the
+    rolling latency sample kept per replica.
+    """
+
+    failure_threshold: int = 3
+    probe_interval_seconds: float = 0.5
+    quarantine_seconds: float = 0.5
+    quarantine_backoff: float = 2.0
+    max_quarantine_seconds: float = 30.0
+    latency_window: int = 64
+
+    def __post_init__(self) -> None:
+        if int(self.failure_threshold) < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        for name in (
+            "probe_interval_seconds",
+            "quarantine_seconds",
+            "max_quarantine_seconds",
+        ):
+            if float(getattr(self, name)) < 0:
+                raise ConfigurationError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if float(self.quarantine_backoff) < 1.0:
+            raise ConfigurationError(
+                f"quarantine_backoff must be >= 1, got {self.quarantine_backoff}"
+            )
+        if int(self.latency_window) < 1:
+            raise ConfigurationError(
+                f"latency_window must be >= 1, got {self.latency_window}"
+            )
+
+    def quarantine_for(self, ejections: int) -> float:
+        """The quarantine lapse after the ``ejections``-th ejection (1-based)."""
+        lapse = float(self.quarantine_seconds) * (
+            float(self.quarantine_backoff) ** max(0, int(ejections) - 1)
+        )
+        return min(lapse, float(self.max_quarantine_seconds))
+
+
+class ReplicaHealth:
+    """One replica's health state machine (thread-safe)."""
+
+    def __init__(
+        self,
+        policy: Optional[HealthPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy if policy is not None else HealthPolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = HealthState.HEALTHY
+        self._consecutive_failures = 0
+        self._total_failures = 0
+        self._total_successes = 0
+        self._ejections = 0
+        self._probe_eligible_at = 0.0
+        self._latencies: Deque[float] = deque(maxlen=int(self.policy.latency_window))
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def is_healthy(self) -> bool:
+        return self.state == HealthState.HEALTHY
+
+    @property
+    def ejections(self) -> int:
+        with self._lock:
+            return self._ejections
+
+    def probe_due(self) -> bool:
+        """Whether a quarantined replica's lapse has passed (probe it now)."""
+        with self._lock:
+            return (
+                self._state == HealthState.QUARANTINED
+                and self._clock() >= self._probe_eligible_at
+            )
+
+    def latency_avg(self) -> Optional[float]:
+        with self._lock:
+            if not self._latencies:
+                return None
+            return sum(self._latencies) / len(self._latencies)
+
+    # -- transitions ---------------------------------------------------------------
+
+    def record_success(self, latency_seconds: Optional[float] = None) -> None:
+        """A served request completed; resets the consecutive-failure streak."""
+        with self._lock:
+            self._total_successes += 1
+            self._consecutive_failures = 0
+            if latency_seconds is not None:
+                self._latencies.append(float(latency_seconds))
+
+    def record_failure(self, latency_seconds: Optional[float] = None) -> bool:
+        """An infrastructure fault; returns ``True`` when this one ejects."""
+        with self._lock:
+            self._total_failures += 1
+            self._consecutive_failures += 1
+            if latency_seconds is not None:
+                self._latencies.append(float(latency_seconds))
+            if (
+                self._state == HealthState.HEALTHY
+                and self._consecutive_failures >= int(self.policy.failure_threshold)
+            ):
+                self._eject_locked()
+                return True
+            return False
+
+    def record_probe_failure(self) -> None:
+        """A supervisor probe failed: extend the quarantine (next backoff step)."""
+        with self._lock:
+            if self._state != HealthState.QUARANTINED:
+                return
+            self._ejections += 1
+            self._probe_eligible_at = self._clock() + self.policy.quarantine_for(
+                self._ejections
+            )
+
+    def eject(self) -> None:
+        """Force the replica into quarantine (used by operators/tests)."""
+        with self._lock:
+            if self._state == HealthState.HEALTHY:
+                self._eject_locked()
+
+    def _eject_locked(self) -> None:
+        self._state = HealthState.QUARANTINED
+        self._ejections += 1
+        self._probe_eligible_at = self._clock() + self.policy.quarantine_for(
+            self._ejections
+        )
+
+    def readmit(self) -> None:
+        """A probe succeeded: back to healthy with a clean failure streak."""
+        with self._lock:
+            self._state = HealthState.HEALTHY
+            self._consecutive_failures = 0
+
+    # -- export ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-native state for ``/healthz`` and ``/stats``."""
+        with self._lock:
+            average = (
+                sum(self._latencies) / len(self._latencies) if self._latencies else None
+            )
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "total_failures": self._total_failures,
+                "total_successes": self._total_successes,
+                "ejections": self._ejections,
+                "latency_avg_seconds": average,
+                "probe_eligible_in_seconds": (
+                    max(0.0, self._probe_eligible_at - self._clock())
+                    if self._state == HealthState.QUARANTINED
+                    else None
+                ),
+            }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"ReplicaHealth(state={self._state!r}, "
+                f"consecutive_failures={self._consecutive_failures}, "
+                f"ejections={self._ejections})"
+            )

@@ -28,9 +28,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..exceptions import ServeError
+from ..exceptions import DeadlineExceededError, ServeError
 from ..nn.dtype import policy_float
 from ..obs import SpanContext, current_span, get_tracer
+from ..resilience import Deadline, current_deadline, get_injector
 from .cache import FootprintCache
 from .metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 
@@ -52,7 +53,9 @@ class ExtractionRequest:
     ``trace`` carries the submitter's span context across the thread
     boundary into the engine's drain thread — ``contextvars`` do not follow
     a request through a queue, so the context is captured explicitly at
-    submit time and engine-side spans parent to it.
+    submit time and engine-side spans parent to it.  ``deadline`` is captured
+    the same way: the drain loop fails requests whose budget lapsed while
+    they sat in the queue instead of spending a forward pass on them.
     """
 
     model_key: str
@@ -60,6 +63,7 @@ class ExtractionRequest:
     future: "Future[Tuple[np.ndarray, np.ndarray]]" = field(default_factory=Future)
     request_id: int = field(default_factory=lambda: next(_request_ids))
     trace: Optional[SpanContext] = None
+    deadline: Optional[Deadline] = None
 
     @property
     def num_cases(self) -> int:
@@ -118,6 +122,7 @@ class BatchingEngine:
             "cases_requested": 0,
             "cases_extracted": 0,
             "cases_from_cache": 0,
+            "requests_expired": 0,
         }
         self._metrics = metrics
         if metrics is not None:
@@ -143,6 +148,10 @@ class BatchingEngine:
             )
             self._m_queue_depth = metrics.gauge(
                 "engine.queue_depth", "extraction requests waiting in the engine queue"
+            )
+            self._m_expired = metrics.counter(
+                "engine.deadline_expired_total",
+                "queued requests dropped because their deadline lapsed before extraction",
             )
 
     # -- lifecycle ---------------------------------------------------------------
@@ -199,6 +208,7 @@ class BatchingEngine:
             model_key=str(model_key),
             inputs=policy_float(inputs),
             trace=get_tracer().current_context(),
+            deadline=current_deadline(),
         )
         if self._metrics is not None:
             self._m_requests.inc()
@@ -257,6 +267,36 @@ class BatchingEngine:
         Exposed for synchronous use and tests; the drain loop calls it with
         whatever it gathered within one batching window.
         """
+        if not requests:
+            return
+        injector = get_injector()
+        if injector.enabled:
+            try:
+                injector.inject("batching.drain")
+            except Exception as error:  # noqa: BLE001 - injected fault fails the batch
+                for request in requests:
+                    if not request.future.done():
+                        request.future.set_exception(error)
+                return
+        # Deadline triage: a request whose budget lapsed while queued gets a
+        # typed failure now — a forward pass on it would be pure waste, and
+        # its caller has already given up.
+        live: List[ExtractionRequest] = []
+        for request in requests:
+            if request.deadline is not None and request.deadline.expired():
+                if not request.future.done():
+                    request.future.set_exception(
+                        DeadlineExceededError(
+                            "deadline expired while queued for extraction"
+                        )
+                    )
+                with self._stats_lock:
+                    self._stats["requests_expired"] += 1
+                if self._metrics is not None:
+                    self._m_expired.inc()
+            else:
+                live.append(request)
+        requests = live
         if not requests:
             return
         by_model: Dict[str, List[ExtractionRequest]] = {}

@@ -42,7 +42,12 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Sequence, Tuple, Union
 
-from ..exceptions import PayloadTooLargeError, ServeError, ServiceSaturatedError
+from ..exceptions import (
+    DeadlineExceededError,
+    PayloadTooLargeError,
+    ServeError,
+    ServiceSaturatedError,
+)
 from ..obs import (
     SpanContext,
     bind_request_id,
@@ -52,13 +57,24 @@ from ..obs import (
     new_request_id,
     unbind_request_id,
 )
+from ..resilience import (
+    bind_deadline,
+    configure_chaos,
+    corrupt_bytes,
+    current_deadline,
+    get_injector,
+    unbind_deadline,
+)
 from ..wire import Codec, get_codec
 from .cache import ResponseCache, ResponseEntry
 from .metrics import MetricsRegistry, render_registries_text
 from .protocol import (
     error_response,
+    is_loopback_peer,
     negotiate_codecs,
+    parse_json_body,
     request_digest,
+    resolve_deadline,
     resolve_request_id,
     wants_text_metrics,
 )
@@ -75,12 +91,14 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    403: "Forbidden",
     408: "Request Timeout",
     413: "Payload Too Large",
     415: "Unsupported Media Type",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -163,6 +181,7 @@ class DiagnosisGateway:
         executor_workers: Optional[int] = None,
         idle_timeout: float = 30.0,
         body_timeout: float = 30.0,
+        write_timeout: float = 30.0,
         response_cache_size: int = 1024,
         response_cache_ttl: float = 30.0,
         default_codec: Union[str, Codec] = "json",
@@ -177,6 +196,7 @@ class DiagnosisGateway:
         self.max_body_bytes = int(max_body_bytes)
         self.idle_timeout = float(idle_timeout)
         self.body_timeout = float(body_timeout)
+        self.write_timeout = float(write_timeout)
         self.verbose = verbose
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         workers = executor_workers if executor_workers is not None else pool.num_replicas + 1
@@ -203,6 +223,10 @@ class DiagnosisGateway:
         }
         self._m_shed = self.metrics.counter(
             "gateway.shed_total", "requests rejected with 503 by admission control"
+        )
+        self._m_deadline_rejected = self.metrics.counter(
+            "gateway.deadline_rejected_total",
+            "requests refused with 504 because their budget was already spent",
         )
         self._m_request_seconds = self.metrics.histogram(
             "gateway.request_seconds", "request wall time, parse to last byte queued"
@@ -357,6 +381,10 @@ class DiagnosisGateway:
         # tracing enabled or not) and echoed on every response from here on.
         request_id = resolve_request_id(request.headers.get("x-request-id"), new_request_id)
         token = bind_request_id(request_id)
+        # The client's remaining budget rides the task's context from here:
+        # every downstream stage (admission, executor hop, batching queue)
+        # sees it without threading a parameter through.
+        deadline_token = bind_deadline(resolve_deadline(request.headers))
         try:
             tracer = get_tracer()
             root = tracer.span(
@@ -386,6 +414,7 @@ class DiagnosisGateway:
                 print(f"gateway: {request.method} {request.path} -> {status}")
             return keep_alive and sent
         finally:
+            unbind_deadline(deadline_token)
             unbind_request_id(token)
 
     async def _handle_parsed(
@@ -427,7 +456,45 @@ class DiagnosisGateway:
                 sent = await self._respond(writer, 408, payload, False, rid_header)
                 return 408, payload, False, sent
 
-        status, payload, extra = await self._dispatch(request, body)
+        injector = get_injector()
+        if injector.enabled:
+            plan = injector.planned("gateway.read_body")
+            if plan is not None:
+                # planned() not inject(): a blocking sleep here would stall
+                # every connection on the loop, not just this request.
+                if plan.mode in ("delay", "hang"):
+                    await asyncio.sleep(plan.delay_seconds)
+                elif plan.mode == "drop":
+                    return 0, {}, False, False
+                elif plan.mode == "corrupt":
+                    body = corrupt_bytes(body)
+                elif plan.mode == "error":
+                    status, payload, extra = error_response(plan.build_error())
+                    payload["request_id"] = request_id
+                    sent = await self._respond(
+                        writer, status, payload, False, tuple(extra) + rid_header
+                    )
+                    return status, payload, False, sent
+
+        # Admission gate for the deadline: a budget that is already spent is
+        # refused here — after the body read keeps the connection in sync, but
+        # before any cache, admission, or executor work happens.
+        deadline = current_deadline()
+        if deadline is not None and deadline.expired() and request.method == "POST":
+            self._m_deadline_rejected.inc()
+            status, payload, extra = error_response(
+                DeadlineExceededError("deadline expired before admission")
+            )
+            payload["request_id"] = request_id
+            keep_alive = request.keep_alive
+            sent = await self._respond(
+                writer, status, payload, keep_alive, tuple(extra) + rid_header
+            )
+            return status, payload, keep_alive, sent
+
+        status, payload, extra = await self._dispatch(
+            request, body, writer.get_extra_info("peername")
+        )
         if status >= 400 and isinstance(payload, dict):
             payload.setdefault("request_id", request_id)
         keep_alive = request.keep_alive and status < 500
@@ -461,15 +528,18 @@ class DiagnosisGateway:
         self._m_responses.get(status // 100, self._m_responses[5]).inc()
         try:
             writer.write(head + body)
-            await writer.drain()
-        except ConnectionError:
+            # Bounded drain: a peer that stops reading (slow loris on the
+            # response path) costs at most write_timeout, not a pinned
+            # connection with a full kernel buffer forever.
+            await asyncio.wait_for(writer.drain(), timeout=self.write_timeout)
+        except (ConnectionError, asyncio.TimeoutError):
             return False
         return True
 
     # -- routing --------------------------------------------------------------------
 
     async def _dispatch(
-        self, request: ParsedRequest, body: bytes
+        self, request: ParsedRequest, body: bytes, peer: object = None
     ) -> Tuple[int, Union[Dict, bytes], Sequence[Tuple[str, str]]]:
         raw_path, _, query = request.path.partition("?")
         path = raw_path.rstrip("/") or "/"
@@ -477,11 +547,13 @@ class DiagnosisGateway:
             if request.method == "GET":
                 return await self._dispatch_get(path, query, request.headers)
             if request.method == "POST":
-                return await self._dispatch_post(path, body, request.headers)
+                return await self._dispatch_post(path, body, request.headers, peer)
             return 405, {"error": f"method {request.method} not allowed"}, ()
         except Exception as error:  # noqa: BLE001 - mapped to a status, keep serving
             if isinstance(error, ServiceSaturatedError):
                 self._m_shed.inc()
+            elif isinstance(error, DeadlineExceededError):
+                self._m_deadline_rejected.inc()
             return error_response(error)
 
     async def _dispatch_get(
@@ -491,11 +563,15 @@ class DiagnosisGateway:
             models = await self._run_blocking(self.pool.registered_models)
             return 200, {"status": "ok", "models": models}, ()
         if path == "/healthz":
-            # Liveness only: answered on the loop without touching the pool,
-            # so orchestrator probes stay cheap and cannot be shed.
-            return 200, self._healthz_payload(), ()
+            # Answered on the loop from in-memory health state (no executor
+            # hop, cannot be shed): "ok" / "degraded" / "unavailable", with
+            # only a fully-quarantined pool failing the probe's status code.
+            payload = self._healthz_payload()
+            return (503 if payload["status"] == "unavailable" else 200), payload, ()
         if path == "/debug/traces":
             return 200, get_tracer().debug_payload(), ()
+        if path == "/debug/chaos":
+            return 200, get_injector().stats(), ()
         if path == "/models":
             records = await self._run_blocking(self.pool.records)
             return 200, {"models": records}, ()
@@ -522,8 +598,15 @@ class DiagnosisGateway:
         return 404, {"error": f"unknown path {path!r}"}, ()
 
     async def _dispatch_post(
-        self, path: str, body: bytes, headers: Dict[str, str]
+        self, path: str, body: bytes, headers: Dict[str, str], peer: object = None
     ) -> Tuple[int, Union[Dict, bytes], Sequence[Tuple[str, str]]]:
+        if path == "/debug/chaos":
+            # Runtime chaos control mutates process-global state: only the
+            # operator's own host may, and never through a proxy.
+            if not is_loopback_peer(peer):
+                return 403, {"error": "chaos control is loopback-only"}, ()
+            injector = configure_chaos(parse_json_body(body))
+            return 200, injector.stats(), ()
         if path == "/diagnose":
             # Codec negotiation first: an unknown Content-Type/Accept is a 415
             # before any cache or admission work (negotiate_codecs raises).
@@ -591,7 +674,11 @@ class DiagnosisGateway:
         (so the loop side reuses its memoized encodings) and a plain document
         when it is off.
         """
+        started = time.perf_counter()
         try:
+            injector = get_injector()
+            if injector.enabled and injector.inject("codec.decode") == "corrupt":
+                body = corrupt_bytes(body)
             request = codec.decode_request(body)
             canonical_key: Optional[str] = None
             if body_key is not None:
@@ -602,6 +689,7 @@ class DiagnosisGateway:
                     # form: link this body for the loop-side fast path and
                     # answer from the shared entry.
                     self._response_cache.link(body_key, canonical_key)
+                    lease.release(latency_seconds=time.perf_counter() - started)
                     return 200, entry, (), "hit"
             report = lease.service.diagnose_dict(
                 request.model,
@@ -610,15 +698,20 @@ class DiagnosisGateway:
                 version=request.version,
                 metadata=request.metadata,
             )
+            lease.release(latency_seconds=time.perf_counter() - started)
             if canonical_key is not None:
                 entry = self._response_cache.store(body_key, canonical_key, report)
                 return 200, entry, (), "miss"
             return 200, report, (), "off"
         except Exception as error:  # noqa: BLE001 - mapped to a status, keep serving
+            # The outcome feeds replica health: infrastructure faults count
+            # toward ejection, a client's bad request does not (classified
+            # inside the pool).
+            lease.release(error=error, latency_seconds=time.perf_counter() - started)
+            if isinstance(error, DeadlineExceededError):
+                self._m_deadline_rejected.inc()
             status, payload, extra = error_response(error)
             return status, payload, extra, "error"
-        finally:
-            lease.release()
 
     def _submit_job_blocking(
         self, body: bytes, codec: Codec
@@ -683,11 +776,14 @@ class DiagnosisGateway:
         return render_registries_text(pairs)
 
     def _healthz_payload(self) -> Dict:
+        health = self.pool.health_snapshot()
         return {
-            "status": "ok",
+            "status": health["status"],
             "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
             "tracing": get_tracer().enabled,
             "replicas": self.pool.num_replicas,
+            "quarantined": health["quarantined"],
+            "replica_health": health["replicas"],
         }
 
     def __enter__(self) -> "DiagnosisGateway":
@@ -722,4 +818,4 @@ def serve_gateway_forever(
         pass
     finally:
         gateway.shutdown()
-        pool.close()
+        pool.shutdown()

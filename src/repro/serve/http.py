@@ -43,12 +43,23 @@ from ..obs import (
     new_request_id,
     unbind_request_id,
 )
+from ..resilience import (
+    bind_deadline,
+    check_deadline,
+    configure_chaos,
+    corrupt_bytes,
+    get_injector,
+    unbind_deadline,
+)
 from ..wire import Codec, get_codec
 from .metrics import render_registries_text
 from .protocol import (
     error_response,
+    is_loopback_peer,
     negotiate_codecs,
     parse_diagnosis_request,
+    parse_json_body,
+    resolve_deadline,
     resolve_request_id,
     wants_text_metrics,
 )
@@ -94,7 +105,20 @@ class _Handler(BaseHTTPRequestHandler):
         if self._request_id is not None:
             self.send_header("X-Request-ID", self._request_id)
         self.end_headers()
-        self.wfile.write(body)
+        self._write_response(body)
+
+    def _write_response(self, body: bytes) -> None:
+        """Write the response body under the per-socket timeout.
+
+        The socket timeout set in ``setup()`` covers writes too: a peer that
+        stops *reading* (slow loris on the response path) trips it here, and
+        the connection is closed instead of pinning the handler thread on a
+        full kernel buffer.
+        """
+        try:
+            self.wfile.write(body)
+        except (TimeoutError, OSError):
+            self.close_connection = True
 
     def _send_json(self, payload: Dict, status: int = 200) -> None:
         self._send_body(json.dumps(payload).encode("utf-8"), "application/json", status)
@@ -123,7 +147,7 @@ class _Handler(BaseHTTPRequestHandler):
         for name, value in extra_headers:
             self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(body)
+        self._write_response(body)
 
     def _handle_traced(self, method: str, handler: Callable[[], None]) -> None:
         """Run one route under the request's identity and root span.
@@ -139,6 +163,10 @@ class _Handler(BaseHTTPRequestHandler):
         )
         self._last_status = 0
         token = bind_request_id(self._request_id)
+        # The client's remaining budget, visible to every downstream stage
+        # (service dispatch, batching queue) through the handler thread's
+        # context — same propagation as the gateway's.
+        deadline_token = bind_deadline(resolve_deadline(self.headers))
         try:
             with get_tracer().span(
                 "http.request",
@@ -157,6 +185,7 @@ class _Handler(BaseHTTPRequestHandler):
                 duration_seconds=round(time.perf_counter() - start, 6),
             )
         finally:
+            unbind_deadline(deadline_token)
             unbind_request_id(token)
 
     def _send_exception(self, error: BaseException) -> None:
@@ -210,9 +239,16 @@ class _Handler(BaseHTTPRequestHandler):
             if path == "/health":
                 self._send_json({"status": "ok", "models": self.service.registry.models()})
             elif path == "/healthz":
-                self._send_json({"status": "ok", "tracing": get_tracer().enabled})
+                self._send_json(
+                    {
+                        "status": "ok" if self.service.engine.is_running else "degraded",
+                        "tracing": get_tracer().enabled,
+                    }
+                )
             elif path == "/debug/traces":
                 self._send_json(get_tracer().debug_payload())
+            elif path == "/debug/chaos":
+                self._send_json(get_injector().stats())
             elif path == "/models":
                 self._send_json({"models": self.service.models()})
             elif path == "/stats":
@@ -243,9 +279,24 @@ class _Handler(BaseHTTPRequestHandler):
     def _do_post(self) -> None:
         try:
             path = self.path.split("?", 1)[0].rstrip("/")
-            if path == "/diagnose":
+            if path == "/debug/chaos":
+                # Runtime chaos control mutates process-global state: only
+                # the operator's own host may, and never through a proxy.
+                if not is_loopback_peer(self.client_address):
+                    self._send_error_json("chaos control is loopback-only", 403)
+                    return
+                injector = configure_chaos(parse_json_body(self._read_body()))
+                self._send_json(injector.stats())
+            elif path == "/diagnose":
+                # Admission gate: an already-spent budget is a typed 504
+                # before the body is decoded or any diagnosis work starts.
+                check_deadline("admission")
                 request_codec, response_codec = self._negotiate()
-                request = request_codec.decode_request(self._read_body())
+                body = self._read_body()
+                injector = get_injector()
+                if injector.enabled and injector.inject("codec.decode") == "corrupt":
+                    body = corrupt_bytes(body)
+                request = request_codec.decode_request(body)
                 report = self.service.diagnose_dict(
                     request.model,
                     request.inputs,

@@ -27,12 +27,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..api.schema import DiagnosisRequest
 from ..exceptions import (
     ArtifactNotFoundError,
+    DeadlineExceededError,
     PayloadTooLargeError,
     ReproError,
     ServeError,
     ServiceSaturatedError,
     UnsupportedMediaTypeError,
 )
+from ..resilience import DEADLINE_HEADER, Deadline
 from ..wire import (
     codec_for_accept,
     codec_for_content_type,
@@ -47,6 +49,8 @@ __all__ = [
     "error_status",
     "error_response",
     "resolve_request_id",
+    "resolve_deadline",
+    "is_loopback_peer",
     "wants_text_metrics",
     "negotiate_codecs",
     "codec_for_content_type",
@@ -72,6 +76,34 @@ def resolve_request_id(supplied: Optional[str], generate) -> str:
         if 0 < len(candidate) <= MAX_REQUEST_ID_LENGTH and set(candidate) <= _REQUEST_ID_CHARS:
             return candidate
     return generate()
+
+
+def resolve_deadline(headers) -> Optional[Deadline]:
+    """The request's deadline from ``X-Deadline-Ms``, shared by both front ends.
+
+    ``headers`` is any case-insensitive-get mapping (the gateway's lowercased
+    dict, the threading server's ``email.message``-style headers).  Absent or
+    malformed values mean "no deadline" — a garbage header must not reject a
+    request that never asked for one.
+    """
+    getter = getattr(headers, "get", None)
+    if getter is None:
+        return None
+    value = getter(DEADLINE_HEADER.lower()) or getter(DEADLINE_HEADER)
+    return Deadline.from_header_ms(value)
+
+
+#: Loopback addresses allowed to reconfigure chaos at runtime.  The debug
+#: surface mutates process-global state; only the operator's own host may.
+_LOOPBACK_HOSTS = frozenset({"127.0.0.1", "::1", "localhost"})
+
+
+def is_loopback_peer(peername) -> bool:
+    """Whether a socket peername tuple (or host string) is the local host."""
+    if peername is None:
+        return False
+    host = peername[0] if isinstance(peername, (tuple, list)) and peername else peername
+    return isinstance(host, str) and host.partition("%")[0] in _LOOPBACK_HOSTS
 
 
 def wants_text_metrics(query: str, accept: Optional[str]) -> bool:
@@ -127,6 +159,8 @@ def error_status(error: BaseException) -> int:
         return 413
     if isinstance(error, UnsupportedMediaTypeError):
         return 415
+    if isinstance(error, DeadlineExceededError):
+        return 504
     if isinstance(error, (ServeError, ReproError, ValueError)):
         return 400
     return 500
@@ -142,7 +176,13 @@ def error_response(error: BaseException) -> Tuple[int, Dict, Headers]:
     if isinstance(error, ArtifactNotFoundError):
         message = f"unknown model: {error.args[0] if error.args else error}"
     elif isinstance(
-        error, (ServiceSaturatedError, PayloadTooLargeError, UnsupportedMediaTypeError)
+        error,
+        (
+            ServiceSaturatedError,
+            PayloadTooLargeError,
+            UnsupportedMediaTypeError,
+            DeadlineExceededError,
+        ),
     ):
         message = str(error)
     else:

@@ -15,29 +15,73 @@ per-replica queue cap and a pool-wide in-flight cap — and a request that fits
 under neither is shed immediately with
 :class:`~repro.exceptions.ServiceSaturatedError` (surfaced by the HTTP layer
 as ``503`` + ``Retry-After``) instead of being buffered without bound.
+
+The pool is also the replica supervisor.  Each replica carries a
+:class:`~repro.resilience.ReplicaHealth` state machine: infrastructure
+faults (engine timeouts, a stopped engine — never a client's bad request)
+count against a consecutive-failure threshold, routing skips quarantined
+replicas, and a background supervisor thread probes quarantined replicas on
+the policy's cadence, re-admitting them once a synthetic probe succeeds.
+Health is surfaced through :meth:`ReplicaPool.health_snapshot` (the
+``/healthz`` degraded/unavailable states) and pool metrics.
 """
 
 from __future__ import annotations
 
+import time
 import threading
+from concurrent.futures import TimeoutError as _FuturesTimeoutError
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..exceptions import ServeError, ServiceSaturatedError
+from ..exceptions import (
+    ArtifactNotFoundError,
+    ConfigurationError,
+    DeadlineExceededError,
+    ServeError,
+    ServiceSaturatedError,
+)
 from ..obs import span as obs_span
+from ..resilience import HealthPolicy, HealthState, ReplicaHealth
 from .metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry, merge_counters
 from .service import DiagnosisService
 
-__all__ = ["ReplicaLease", "ReplicaPool"]
+__all__ = ["ReplicaLease", "ReplicaPool", "is_infrastructure_fault"]
+
+#: Failures that say something about the *request*, not the replica: routing
+#: more traffic away from a replica because a client sent an unknown model or
+#: an expired deadline would let one bad client eject the whole pool.
+_CLIENT_FAULTS = (
+    ArtifactNotFoundError,
+    ConfigurationError,  # includes NoFaultyCasesError and validation errors
+    DeadlineExceededError,
+    ServiceSaturatedError,
+    ValueError,  # schema/shape/dataset errors all mix in ValueError
+)
+
+
+def is_infrastructure_fault(error: BaseException) -> bool:
+    """Whether ``error`` counts against the serving replica's health.
+
+    Timeouts and generic service-layer failures (a stopped engine, a crashed
+    worker) are the replica's problem; typed request errors are the client's.
+    """
+    if isinstance(error, _CLIENT_FAULTS):
+        return False
+    return isinstance(
+        error,
+        (TimeoutError, _FuturesTimeoutError, ServeError, RuntimeError, OSError),
+    )
 
 
 class _Replica:
     """One pool member: a service plus its admission bookkeeping."""
 
-    def __init__(self, index: int, service: DiagnosisService):
+    def __init__(self, index: int, service: DiagnosisService, policy: HealthPolicy):
         self.index = index
         self.service = service
         self.inflight = 0
         self.assigned_total = 0
+        self.health = ReplicaHealth(policy)
         self.m_inflight = service.metrics.gauge(
             "replica.inflight", "requests currently admitted to this replica"
         )
@@ -68,16 +112,26 @@ class ReplicaLease:
     def replica_index(self) -> int:
         return self._replica.index
 
-    def release(self) -> None:
+    def release(
+        self,
+        error: Optional[BaseException] = None,
+        latency_seconds: Optional[float] = None,
+    ) -> None:
+        """Return the slot, feeding the request's outcome to replica health.
+
+        ``error=None`` records a success (resets the replica's failure
+        streak); an infrastructure fault counts toward ejection; a client
+        error is neutral — it says nothing about the replica.
+        """
         if not self._released:
             self._released = True
-            self._pool._release(self._replica)
+            self._pool._release(self._replica, error=error, latency_seconds=latency_seconds)
 
     def __enter__(self) -> DiagnosisService:
         return self._replica.service
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.release()
+        self.release(error=exc)
 
 
 class ReplicaPool:
@@ -103,6 +157,14 @@ class ReplicaPool:
         Pool-level registry (admissions, sheds, in-flight); defaults to a
         fresh one.  Per-replica instruments live in each replica service's
         own registry.
+    health_policy:
+        Replica supervision knobs (:class:`~repro.resilience.HealthPolicy`);
+        defaults to the policy's own defaults.
+    probe:
+        ``probe(service) -> None`` run by the supervisor against a
+        quarantined replica; raising means "still broken".  Defaults to
+        listing the replica's models — cheap, but exercises the service
+        object end to end.
     """
 
     def __init__(
@@ -113,6 +175,8 @@ class ReplicaPool:
         max_inflight: Optional[int] = None,
         retry_after_seconds: float = 1.0,
         metrics: Optional[MetricsRegistry] = None,
+        health_policy: Optional[HealthPolicy] = None,
+        probe: Optional[Callable[[DiagnosisService], None]] = None,
     ):
         if num_replicas < 1:
             raise ServeError(f"num_replicas must be >= 1, got {num_replicas}")
@@ -126,10 +190,16 @@ class ReplicaPool:
         self.max_inflight = int(max_inflight)
         self.retry_after_seconds = float(retry_after_seconds)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._replicas = [_Replica(i, factory(i)) for i in range(int(num_replicas))]
+        self.health_policy = health_policy if health_policy is not None else HealthPolicy()
+        self._probe = probe if probe is not None else self._default_probe
+        self._replicas = [
+            _Replica(i, factory(i), self.health_policy) for i in range(int(num_replicas))
+        ]
         self._lock = threading.Lock()
         self._next = 0
         self._closed = False
+        self._stop_supervisor = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
         self._m_admitted = self.metrics.counter(
             "pool.admitted_total", "requests admitted to a replica"
         )
@@ -144,6 +214,19 @@ class ReplicaPool:
             "chosen replica's queue depth at admission (admitted requests)",
             buckets=DEFAULT_SIZE_BUCKETS,
         )
+        self._m_ejections = self.metrics.counter(
+            "pool.ejections_total", "replicas quarantined after consecutive faults"
+        )
+        self._m_readmissions = self.metrics.counter(
+            "pool.readmissions_total", "quarantined replicas re-admitted by a probe"
+        )
+        self._m_quarantined = self.metrics.gauge(
+            "pool.quarantined", "replicas currently quarantined"
+        )
+
+    @staticmethod
+    def _default_probe(service: DiagnosisService) -> None:
+        service.registry.models()
 
     @classmethod
     def from_registry(
@@ -154,6 +237,8 @@ class ReplicaPool:
         max_inflight: Optional[int] = None,
         retry_after_seconds: float = 1.0,
         metrics: Optional[MetricsRegistry] = None,
+        health_policy: Optional[HealthPolicy] = None,
+        probe: Optional[Callable[[DiagnosisService], None]] = None,
         **service_kwargs,
     ) -> "ReplicaPool":
         """Build a pool of identical replicas over one artifact registry.
@@ -173,6 +258,8 @@ class ReplicaPool:
             max_inflight=max_inflight,
             retry_after_seconds=retry_after_seconds,
             metrics=metrics,
+            health_policy=health_policy,
+            probe=probe,
         )
 
     # -- admission -----------------------------------------------------------------
@@ -204,17 +291,28 @@ class ReplicaPool:
                 )
             count = len(self._replicas)
             best: Optional[_Replica] = None
+            quarantined = 0
             for offset in range(count):
                 replica = self._replicas[(self._next + offset) % count]
+                if not replica.health.is_healthy:
+                    quarantined += 1
+                    continue
                 if replica.inflight >= self.max_queue_per_replica:
                     continue
                 if best is None or replica.inflight < best.inflight:
                     best = replica
             if best is None:
                 self._m_shed.inc()
+                if quarantined == count:
+                    raise ServiceSaturatedError(
+                        f"all {count} replicas quarantined; retry later",
+                        retry_after=self.retry_after_seconds,
+                    )
                 raise ServiceSaturatedError(
-                    f"all {count} replica queues at capacity "
-                    f"({self.max_queue_per_replica} each); retry later",
+                    f"all {count - quarantined} healthy replica queues at capacity "
+                    f"({self.max_queue_per_replica} each"
+                    + (f", {quarantined} quarantined" if quarantined else "")
+                    + "); retry later",
                     retry_after=self.retry_after_seconds,
                 )
             route_span.set_attributes(
@@ -230,21 +328,39 @@ class ReplicaPool:
             self._m_inflight.set(total + 1)
             return ReplicaLease(self, best)
 
-    def _release(self, replica: _Replica) -> None:
+    def _release(
+        self,
+        replica: _Replica,
+        error: Optional[BaseException] = None,
+        latency_seconds: Optional[float] = None,
+    ) -> None:
+        ejected = False
+        if error is None:
+            replica.health.record_success(latency_seconds)
+        elif is_infrastructure_fault(error):
+            ejected = replica.health.record_failure(latency_seconds)
         with self._lock:
             replica.inflight = max(0, replica.inflight - 1)
             replica.m_inflight.set(replica.inflight)
             self._m_inflight.set(sum(r.inflight for r in self._replicas))
+            if ejected:
+                self._m_ejections.inc()
+                self._m_quarantined.set(self._quarantined_count())
+                self._ensure_supervisor_locked()
 
     # -- request helpers (used by the gateway's executor threads) -------------------
 
     def diagnose_dict(self, name: str, inputs, labels, **kwargs) -> Dict:
         """Admit, route, diagnose, release — the gateway's synchronous path."""
         lease = self.acquire()
+        started = time.perf_counter()
         try:
-            return lease.service.diagnose_dict(name, inputs, labels, **kwargs)
-        finally:
-            lease.release()
+            report = lease.service.diagnose_dict(name, inputs, labels, **kwargs)
+        except BaseException as error:
+            lease.release(error=error, latency_seconds=time.perf_counter() - started)
+            raise
+        lease.release(latency_seconds=time.perf_counter() - started)
+        return report
 
     def submit_job(self, name: str, inputs, labels, **kwargs):
         """Route an asynchronous diagnosis to the least-loaded replica.
@@ -257,9 +373,12 @@ class ReplicaPool:
             if self._closed:
                 raise ServeError("replica pool is closed")
             count = len(self._replicas)
-            best = self._replicas[self._next % count]
-            for offset in range(count):
-                replica = self._replicas[(self._next + offset) % count]
+            # Prefer healthy replicas; an all-quarantined pool still accepts
+            # jobs (they are deferred work — the replica may recover first).
+            ordered = [self._replicas[(self._next + offset) % count] for offset in range(count)]
+            candidates = [r for r in ordered if r.health.is_healthy] or ordered
+            best = candidates[0]
+            for replica in candidates[1:]:
                 if replica.inflight < best.inflight:
                     best = replica
             self._next = (best.index + 1) % count
@@ -286,6 +405,76 @@ class ReplicaPool:
         merged.sort(key=lambda record: record["submitted_at"], reverse=True)
         return merged[: max(0, int(limit))]
 
+    # -- supervision -----------------------------------------------------------------
+
+    def _quarantined_count(self) -> int:
+        return sum(
+            1 for replica in self._replicas if replica.health.state == HealthState.QUARANTINED
+        )
+
+    def _ensure_supervisor_locked(self) -> None:
+        """Start the probe thread lazily — a pool that never ejects never pays."""
+        if self._closed or (self._supervisor is not None and self._supervisor.is_alive()):
+            return
+        self._stop_supervisor.clear()
+        self._supervisor = threading.Thread(
+            target=self._supervise_loop, name="repro-pool-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    def _supervise_loop(self) -> None:
+        interval = max(0.01, float(self.health_policy.probe_interval_seconds))
+        while not self._stop_supervisor.wait(interval):
+            if self._closed:
+                return
+            for replica in self._replicas:
+                if not replica.health.probe_due():
+                    continue
+                with obs_span("replicas.probe", {"replica": replica.index}) as probe_span:
+                    try:
+                        self._probe(replica.service)
+                    except Exception as error:  # noqa: BLE001 - any probe failure extends quarantine
+                        probe_span.set_attributes(
+                            {"outcome": "failed", "error": type(error).__name__}
+                        )
+                        replica.health.record_probe_failure()
+                    else:
+                        probe_span.set_attribute("outcome", "readmitted")
+                        replica.health.readmit()
+                        self._m_readmissions.inc()
+            self._m_quarantined.set(self._quarantined_count())
+
+    def eject_replica(self, index: int) -> None:
+        """Force one replica into quarantine (operator/test hook)."""
+        replica = self._replicas[index]
+        replica.health.eject()
+        with self._lock:
+            self._m_ejections.inc()
+            self._m_quarantined.set(self._quarantined_count())
+            self._ensure_supervisor_locked()
+
+    def health_snapshot(self) -> Dict:
+        """Aggregate + per-replica health, the substance behind ``/healthz``.
+
+        ``status`` is ``ok`` (every replica healthy), ``degraded`` (some
+        quarantined), or ``unavailable`` (all quarantined).
+        """
+        snapshots = [replica.health.snapshot() for replica in self._replicas]
+        quarantined = sum(
+            1 for snapshot in snapshots if snapshot["state"] == HealthState.QUARANTINED
+        )
+        if quarantined == 0:
+            status = "ok"
+        elif quarantined == len(snapshots):
+            status = "unavailable"
+        else:
+            status = "degraded"
+        return {
+            "status": status,
+            "quarantined": quarantined,
+            "replicas": snapshots,
+        }
+
     # -- introspection ---------------------------------------------------------------
 
     @property
@@ -309,6 +498,7 @@ class ReplicaPool:
             "inflight_per_replica": queue_depths,
             "assigned_per_replica": assigned,
             "shed_total": self._m_shed.value,
+            "health": self.health_snapshot(),
             "replicas": [replica.service.stats() for replica in self._replicas],
         }
 
@@ -323,19 +513,41 @@ class ReplicaPool:
 
     # -- lifecycle -------------------------------------------------------------------
 
-    def close(self) -> None:
+    def shutdown(self, timeout: float = 5.0) -> int:
+        """Stop admitting, drain in-flight work for up to ``timeout``, close.
+
+        Returns the number of requests still in flight when the drain window
+        closed (0 means a clean drain).  Idempotent, like :meth:`close`.
+        """
         with self._lock:
-            if self._closed:
-                return
+            already_closed = self._closed
             self._closed = True
+        remaining = 0
+        if not already_closed:
+            deadline = time.monotonic() + max(0.0, float(timeout))
+            while True:
+                with self._lock:
+                    remaining = sum(replica.inflight for replica in self._replicas)
+                if remaining == 0 or time.monotonic() >= deadline:
+                    break
+                time.sleep(0.01)
+        self._stop_supervisor.set()
+        supervisor = self._supervisor
+        if supervisor is not None and supervisor.is_alive():
+            supervisor.join(timeout=2.0)
         for replica in self._replicas:
             replica.service.close()
+        return remaining
+
+    def close(self) -> None:
+        """Immediate shutdown: no drain window for in-flight requests."""
+        self.shutdown(timeout=0.0)
 
     def __enter__(self) -> "ReplicaPool":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        self.shutdown()
 
     def __repr__(self) -> str:
         return (

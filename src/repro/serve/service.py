@@ -29,6 +29,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import TimeoutError as _FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -42,6 +43,7 @@ from ..core.specifics import compute_specifics_batch
 from ..exceptions import NoFaultyCasesError, ServeError
 from ..nn.dtype import resolve_dtype
 from ..obs import span as obs_span
+from ..resilience import check_deadline, get_injector, remaining_budget
 from .batching import BatchingEngine
 from .cache import FootprintCache
 from .jobs import Job, JobStore, WorkerPool
@@ -276,6 +278,12 @@ class DiagnosisService:
     ) -> DefectReport:
         if self._closed:
             raise ServeError("service is closed")
+        injector = get_injector()
+        if injector.enabled:
+            injector.inject("replica.dispatch")
+        # A request whose deadline already lapsed must cost nothing past this
+        # point — and a live deadline caps how long we wait on the engine.
+        check_deadline("replica dispatch")
         inputs, labels = self._validate_request(inputs, labels)
         key = self.resolve_key(name, version)
         entry = self._entry(key)
@@ -283,9 +291,19 @@ class DiagnosisService:
         with obs_span(
             "service.extract", {"model_key": key, "num_cases": int(inputs.shape[0])}
         ):
-            trajectories, final_probs = self.engine.extract(
-                key, inputs, timeout=timeout if timeout is not None else self.request_timeout
-            )
+            try:
+                trajectories, final_probs = self.engine.extract(
+                    key,
+                    inputs,
+                    timeout=remaining_budget(
+                        timeout if timeout is not None else self.request_timeout
+                    ),
+                )
+            except (TimeoutError, _FuturesTimeoutError):
+                # The wait was capped by the request's deadline: surface the
+                # typed 504, not a generic engine timeout.
+                check_deadline("extraction wait")
+                raise
         with obs_span("service.footprints") as fp_span:
             footprints = entry.extractor.from_arrays(trajectories, final_probs, labels)
             faulty = [fp for fp in footprints if fp.is_misclassified]

@@ -1,0 +1,455 @@
+"""Unit tests for repro.resilience: deadlines, fault injection, replica
+health, the circuit breaker, full-jitter backoff, and bounded pool drain."""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import (
+    ArtifactNotFoundError,
+    CircuitOpenError,
+    ConfigurationError,
+    DeadlineExceededError,
+    ServeError,
+)
+from repro.resilience import (
+    DEADLINE_HEADER,
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    FaultInjector,
+    FaultPlan,
+    HealthPolicy,
+    HealthState,
+    ReplicaHealth,
+    bind_deadline,
+    chaos_spec_from_dict,
+    check_deadline,
+    configure_chaos,
+    corrupt_bytes,
+    current_deadline,
+    get_injector,
+    remaining_budget,
+    unbind_deadline,
+)
+
+
+class FakeClock:
+    """A controllable monotonic clock for deterministic timing tests."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_remaining_counts_down_with_the_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert not deadline.expired()
+        clock.advance(1.0)
+        assert deadline.expired()
+        assert deadline.remaining() < 0
+
+    def test_header_roundtrip_reanchors_on_the_receiving_clock(self):
+        clock = FakeClock()
+        sent = Deadline.after(3.0, clock=clock)
+        receiver = FakeClock(start=9999.0)  # wildly different clock: must not matter
+        received = Deadline.from_header_ms(sent.header_value(), clock=receiver)
+        assert received is not None
+        assert received.remaining() == pytest.approx(3.0, abs=0.01)
+
+    @pytest.mark.parametrize("raw", ["", "abc", "1.5.2", None])
+    def test_malformed_header_means_no_deadline(self, raw):
+        assert Deadline.from_header_ms(raw) is None
+
+    def test_negative_header_is_already_expired(self):
+        deadline = Deadline.from_header_ms("-100")
+        assert deadline is not None
+        assert deadline.expired()
+
+    def test_covers_checks_a_required_budget(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        assert deadline.covers(0.5)
+        assert not deadline.covers(2.0)
+
+    def test_check_deadline_names_the_stage(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        check_deadline("admission", deadline=deadline)  # within budget: no raise
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceededError, match="admission"):
+            check_deadline("admission", deadline=deadline)
+
+    def test_contextvar_bind_and_unbind(self):
+        assert current_deadline() is None
+        deadline = Deadline.after(5.0)
+        token = bind_deadline(deadline)
+        try:
+            assert current_deadline() is deadline
+        finally:
+            unbind_deadline(token)
+        assert current_deadline() is None
+
+    def test_bind_none_is_a_noop_binding(self):
+        token = bind_deadline(None)
+        try:
+            assert current_deadline() is None
+        finally:
+            unbind_deadline(token)
+
+    def test_remaining_budget_caps_a_default_timeout(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        assert remaining_budget(30.0, deadline=deadline) == pytest.approx(1.0)
+        assert remaining_budget(0.2, deadline=deadline) == pytest.approx(0.2)
+        assert remaining_budget(30.0, deadline=None) == pytest.approx(30.0)
+
+
+class TestFaultPlan:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault site"):
+            FaultPlan(site="nonsense.site", mode="delay")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault mode"):
+            FaultPlan(site="replica.dispatch", mode="explode")
+
+    def test_error_type_must_be_repro_exception(self):
+        with pytest.raises(ConfigurationError, match="not a repro exception"):
+            FaultPlan(site="replica.dispatch", mode="error", error_type="ValueError2")
+        # Arbitrary attribute access must not escape the hierarchy.
+        with pytest.raises(ConfigurationError):
+            FaultPlan(site="replica.dispatch", mode="error", error_type="__class__")
+
+    def test_build_error_carries_site_and_message(self):
+        plan = FaultPlan(
+            site="remote.send", mode="error",
+            error_type="ArtifactNotFoundError", message="gone",
+        )
+        error = plan.build_error()
+        assert isinstance(error, ArtifactNotFoundError)
+        assert "gone" in str(error) and "remote.send" in str(error)
+
+
+class TestFaultInjector:
+    def test_disabled_injector_never_fires(self):
+        injector = FaultInjector()
+        assert injector.inject("replica.dispatch") is None
+        assert injector.planned("replica.dispatch") is None
+
+    def test_error_mode_raises_the_resolved_class(self):
+        injector = FaultInjector()
+        injector.configure([FaultPlan(site="replica.dispatch", mode="error")])
+        with pytest.raises(ServeError, match="replica.dispatch"):
+            injector.inject("replica.dispatch")
+
+    def test_delay_mode_sleeps_via_injected_sleep(self):
+        slept = []
+        injector = FaultInjector(sleep=slept.append)
+        injector.configure(
+            [FaultPlan(site="batching.drain", mode="delay", delay_seconds=0.25)]
+        )
+        assert injector.inject("batching.drain") == "delay"
+        assert slept == [0.25]
+
+    def test_drop_and_corrupt_are_returned_not_acted(self):
+        injector = FaultInjector()
+        injector.configure([FaultPlan(site="codec.decode", mode="corrupt")])
+        assert injector.inject("codec.decode") == "corrupt"
+
+    def test_max_injections_bounds_firing(self):
+        injector = FaultInjector()
+        injector.configure(
+            [FaultPlan(site="codec.decode", mode="corrupt", max_injections=2)]
+        )
+        fires = [injector.inject("codec.decode") for _ in range(5)]
+        assert fires == ["corrupt", "corrupt", None, None, None]
+
+    def test_probability_draws_are_seeded_and_reproducible(self):
+        def run(seed: int) -> list:
+            injector = FaultInjector()
+            injector.configure(
+                [FaultPlan(site="remote.send", mode="drop", probability=0.5)],
+                seed=seed,
+            )
+            return [injector.inject("remote.send") for _ in range(20)]
+
+        assert run(7) == run(7)  # same seed, same script
+        assert run(7) != run(8)  # different seed, different script
+        assert None in run(7) and "drop" in run(7)  # p=0.5 actually mixes
+
+    def test_sites_are_independent(self):
+        injector = FaultInjector()
+        injector.configure([FaultPlan(site="remote.send", mode="drop")])
+        assert injector.inject("replica.dispatch") is None
+        assert injector.inject("remote.send") == "drop"
+
+    def test_stats_reports_fired_counts_and_budgets(self):
+        injector = FaultInjector()
+        injector.configure(
+            [FaultPlan(site="remote.send", mode="drop", max_injections=3)], seed=5
+        )
+        injector.inject("remote.send")
+        stats = injector.stats()
+        assert stats["enabled"] is True
+        assert stats["seed"] == 5
+        (plan,) = stats["plans"]
+        assert plan["fired"] == 1 and plan["remaining_budget"] == 2
+
+    def test_disable_disarms_everything(self):
+        injector = FaultInjector()
+        injector.configure([FaultPlan(site="remote.send", mode="drop")])
+        injector.disable()
+        assert injector.inject("remote.send") is None
+        assert injector.stats()["enabled"] is False
+
+    def test_global_injector_configured_in_place(self):
+        reference = get_injector()
+        try:
+            configure_chaos({"plans": [{"site": "remote.send", "mode": "drop"}]})
+            assert get_injector() is reference  # mutated, never replaced
+            assert reference.enabled
+        finally:
+            configure_chaos(None)
+        assert not reference.enabled
+
+    def test_spec_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown chaos plan field"):
+            chaos_spec_from_dict(
+                {"plans": [{"site": "remote.send", "mode": "drop", "oops": 1}]}
+            )
+
+    def test_spec_enabled_false_disarms(self):
+        plans, _seed = chaos_spec_from_dict(
+            {"enabled": False, "plans": [{"site": "remote.send", "mode": "drop"}]}
+        )
+        assert plans == []
+
+    def test_corrupt_bytes_flips_first_byte_only(self):
+        assert corrupt_bytes(b"") == b""
+        damaged = corrupt_bytes(b"{ok}")
+        assert damaged != b"{ok}" and damaged[1:] == b"ok}"
+
+
+class TestReplicaHealth:
+    def policy(self, **overrides) -> HealthPolicy:
+        defaults = dict(
+            failure_threshold=3,
+            probe_interval_seconds=0.01,
+            quarantine_seconds=1.0,
+            quarantine_backoff=2.0,
+            max_quarantine_seconds=8.0,
+        )
+        defaults.update(overrides)
+        return HealthPolicy(**defaults)
+
+    def test_ejects_after_consecutive_failures(self):
+        health = ReplicaHealth(self.policy())
+        assert health.record_failure() is False
+        assert health.record_failure() is False
+        assert health.record_failure() is True  # threshold reached: ejected
+        assert health.state == HealthState.QUARANTINED
+        assert not health.is_healthy
+
+    def test_success_resets_the_failure_streak(self):
+        health = ReplicaHealth(self.policy())
+        health.record_failure()
+        health.record_failure()
+        health.record_success()
+        health.record_failure()
+        health.record_failure()
+        assert health.is_healthy  # streak broke; 2 more failures don't eject
+
+    def test_probe_due_respects_quarantine_window(self):
+        clock = FakeClock()
+        health = ReplicaHealth(self.policy(), clock=clock)
+        for _ in range(3):
+            health.record_failure()
+        assert not health.probe_due()  # inside the quarantine window
+        clock.advance(1.5)
+        assert health.probe_due()
+
+    def test_probe_failure_extends_quarantine_exponentially(self):
+        clock = FakeClock()
+        health = ReplicaHealth(self.policy(), clock=clock)
+        for _ in range(3):
+            health.record_failure()
+        clock.advance(1.5)
+        health.record_probe_failure()  # second ejection: 2x window
+        clock.advance(1.5)
+        assert not health.probe_due()
+        clock.advance(1.0)
+        assert health.probe_due()
+
+    def test_quarantine_window_is_capped(self):
+        policy = self.policy()
+        # 1-based: the n-th ejection quarantines for base * backoff**(n-1).
+        assert policy.quarantine_for(1) == pytest.approx(1.0)
+        assert policy.quarantine_for(3) == pytest.approx(4.0)
+        assert policy.quarantine_for(10) == pytest.approx(8.0)  # capped
+
+    def test_readmit_restores_health(self):
+        health = ReplicaHealth(self.policy())
+        for _ in range(3):
+            health.record_failure()
+        health.readmit()
+        assert health.is_healthy
+        assert health.state == HealthState.HEALTHY
+
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        health = ReplicaHealth(self.policy(), clock=clock)
+        health.record_success(latency_seconds=0.02)
+        snapshot = health.snapshot()
+        assert snapshot["state"] == "healthy"
+        assert snapshot["consecutive_failures"] == 0
+        for _ in range(3):
+            health.record_failure()
+        snapshot = health.snapshot()
+        assert snapshot["state"] == "quarantined"
+        assert snapshot["ejections"] == 1
+        assert snapshot["probe_eligible_in_seconds"] > 0
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_rejects(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_seconds=5.0, clock=clock)
+        for _ in range(3):
+            breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.allow()
+        assert excinfo.value.retry_after == pytest.approx(5.0)
+
+    def test_half_open_single_probe_then_close_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=5.0, clock=clock)
+        breaker.allow()
+        breaker.record_failure()
+        clock.advance(6.0)
+        breaker.allow()  # the single half-open probe slot
+        assert breaker.state == BreakerState.HALF_OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # second caller finds the slot taken
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+        breaker.allow()  # closed again: flows freely
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=5.0, clock=clock)
+        breaker.allow()
+        breaker.record_failure()
+        clock.advance(6.0)
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # re-opened: the reset window restarts
+
+    def test_success_resets_failure_streak_while_closed(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_seconds=5.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_snapshot_and_transitions(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_seconds=1.0, name="/diagnose", clock=clock
+        )
+        breaker.record_failure()
+        snapshot = breaker.snapshot()
+        assert snapshot["name"] == "/diagnose"
+        assert snapshot["state"] == "open"
+        assert breaker.transitions == 1
+
+    def test_breaker_is_thread_safe_under_contention(self):
+        breaker = CircuitBreaker(failure_threshold=50, reset_seconds=5.0)
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(200):
+                    try:
+                        breaker.allow()
+                    except CircuitOpenError:
+                        continue
+                    breaker.record_failure()
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert breaker.state == BreakerState.OPEN
+
+
+class TestFullJitterBackoff:
+    def test_backoff_draws_from_uniform_zero_to_ceiling(self):
+        from repro.api.remote import RemoteDiagnoser
+
+        client = RemoteDiagnoser("http://127.0.0.1:1", rng=random.Random(42))
+        slept = []
+        original_sleep = time.sleep
+        try:
+            time.sleep = slept.append
+            client._backoff(0, None)
+            client._backoff(1, None)
+            client._backoff(2, None)
+        finally:
+            time.sleep = original_sleep
+        base = client.config.retry_backoff_seconds
+        expected = random.Random(42)
+        assert slept == pytest.approx(
+            [expected.uniform(0.0, base * 2 ** n) for n in range(3)]
+        )
+        for attempt, duration in enumerate(slept):
+            assert 0.0 <= duration <= base * 2 ** attempt
+
+    def test_backoff_is_bounded_by_the_deadline(self):
+        from repro.api.remote import RemoteDiagnoser
+
+        clock = FakeClock()
+        deadline = Deadline.after(0.001, clock=clock)
+        # An rng pinned at the ceiling would sleep ~0.25s without the bound.
+        class Ceiling(random.Random):
+            def uniform(self, a, b):  # noqa: ANN001, ANN202 - stdlib signature
+                return b
+
+        client = RemoteDiagnoser("http://127.0.0.1:1", rng=Ceiling())
+        slept = []
+        original_sleep = time.sleep
+        try:
+            time.sleep = slept.append
+            client._backoff(3, deadline)
+        finally:
+            time.sleep = original_sleep
+        assert slept and slept[0] == pytest.approx(0.001, abs=1e-6)
+
+
+class TestDeadlineHeaderConstant:
+    def test_header_name_is_stable_wire_contract(self):
+        # The header name is a wire contract with deployed clients; renaming
+        # it is a breaking change and must fail loudly here.
+        assert DEADLINE_HEADER == "X-Deadline-Ms"
