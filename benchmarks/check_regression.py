@@ -54,6 +54,9 @@ GATES = {
     "BENCH_resilience.json": [
         "armed_vs_disarmed_throughput",
     ],
+    "BENCH_monitor.json": [
+        "monitor_vs_plain_throughput",
+    ],
 }
 
 DEFAULT_TOLERANCE = 0.30

@@ -57,6 +57,21 @@ class DiagnoserConfig:
         Resident fitted-model LRU capacity.
     request_timeout:
         Seconds a synchronous diagnosis waits on the engine.
+    monitor:
+        Enable the online monitor (:mod:`repro.monitor`): drift windows fed
+        from the batching engine, drift gauges on ``/metrics``, and the
+        ``GET /monitor`` endpoint.
+    monitor_window:
+        Sliding-window capacity (served cases) per model for drift scoring.
+    monitor_max_age_seconds:
+        Time-based window expiry; ``None`` keeps cases until displaced.
+    drift_threshold:
+        Warn-level normalized-divergence threshold of the drift detector
+        (critical fires at twice this value).
+    monitor_update_cases:
+        Labeled cases buffered before an incremental ``partial_fit`` update
+        is applied and snapshotted to the registry; 0 disables online
+        updates (monitoring stays observe-only).
 
     Remote-client knobs
     -------------------
@@ -118,6 +133,11 @@ class DiagnoserConfig:
     num_workers: int = 2
     max_loaded_models: int = 8
     request_timeout: float = 120.0
+    monitor: bool = False
+    monitor_window: int = 2048
+    monitor_max_age_seconds: Optional[float] = 600.0
+    drift_threshold: float = 2.0
+    monitor_update_cases: int = 0
     # -- remote client ----------------------------------------------------------
     read_timeout: float = 120.0
     max_retries: int = 2
@@ -141,6 +161,7 @@ class DiagnoserConfig:
             "max_loaded_models": self.max_loaded_models,
             "connection_pool_size": self.connection_pool_size,
             "breaker_failure_threshold": self.breaker_failure_threshold,
+            "monitor_window": self.monitor_window,
         }
         for name, value in positive_ints.items():
             if int(value) < 1:
@@ -160,6 +181,7 @@ class DiagnoserConfig:
             "retry_backoff_seconds": self.retry_backoff_seconds,
             "retry_after_cap_seconds": self.retry_after_cap_seconds,
             "breaker_reset_seconds": self.breaker_reset_seconds,
+            "monitor_update_cases": self.monitor_update_cases,
         }
         for name, value in non_negative.items():
             if float(value) < 0:
@@ -167,9 +189,14 @@ class DiagnoserConfig:
         for name, value in (
             ("deadline_seconds", self.deadline_seconds),
             ("hedge_after_seconds", self.hedge_after_seconds),
+            ("monitor_max_age_seconds", self.monitor_max_age_seconds),
         ):
             if value is not None and float(value) <= 0:
                 raise ConfigurationError(f"{name} must be > 0 or None, got {value}")
+        if float(self.drift_threshold) <= 0:
+            raise ConfigurationError(
+                f"drift_threshold must be > 0, got {self.drift_threshold}"
+            )
         if self.inference_dtype is not None and self.inference_dtype not in (
             "float32",
             "float64",
@@ -217,6 +244,11 @@ class DiagnoserConfig:
             "extraction_batch_size": self.extraction_batch_size,
             "request_timeout": self.request_timeout,
             "inference_dtype": self.inference_dtype,
+            "monitor": self.monitor,
+            "monitor_window": self.monitor_window,
+            "monitor_max_age_seconds": self.monitor_max_age_seconds,
+            "drift_threshold": self.drift_threshold,
+            "monitor_update_cases": self.monitor_update_cases,
         }
 
     def build_deepmorph(self, rng: RngLike = None) -> DeepMorph:

@@ -1,0 +1,152 @@
+"""``repro-monitor``: replay a serving trace through the drift monitor offline.
+
+Feeds a JSONL trace of ``v1`` DiagnosisRequest documents (one per line — the
+same schema ``POST /diagnose`` accepts, e.g. captured from production
+clients) through a fitted artifact's pattern library and prints the drift
+timeline a live ``repro-serve --monitor`` would have produced::
+
+    repro-monitor --registry ./registry --model demo trace.jsonl
+
+Each line is extracted with the artifact's own instrumented model, appended
+to a sliding window, and scored with the JS-divergence drift detector after
+every batch.  The exit code reflects the worst alert level seen: 0 = ok,
+1 = warn, 2 = critical — so the command slots directly into shell pipelines
+and CI gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..api.schema import DiagnosisRequest
+from ..monitor import (
+    LEVEL_OK,
+    AlertManager,
+    DriftDetector,
+    DriftThresholds,
+    MonitorWindow,
+    level_severity,
+)
+from ..serve import ArtifactRegistry
+from .common import run_main
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-monitor",
+        description="Replay a JSONL trace of diagnosis requests through the "
+                    "drift monitor offline.",
+    )
+    parser.add_argument("trace", help="JSONL file of v1 DiagnosisRequest documents "
+                                      "('-' reads stdin)")
+    parser.add_argument("--registry", required=True, help="artifact registry directory")
+    parser.add_argument("--model", required=True, help="registered model name")
+    parser.add_argument("--version", default=None, help="artifact version (default: latest)")
+    parser.add_argument(
+        "--drift-threshold", type=float, default=2.0,
+        help="warn-level normalized-divergence threshold (critical = 2x)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=2048, help="sliding-window capacity in cases",
+    )
+    parser.add_argument(
+        "--min-cases", type=int, default=8,
+        help="cases required in the window before drift is scored",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=128, help="extraction batch size",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="emit one JSON drift report per trace line instead of the "
+             "human-readable timeline",
+    )
+    return parser
+
+
+def _iter_requests(path: str):
+    """Yield ``(line_number, DiagnosisRequest)`` pairs from a JSONL trace."""
+    handle = sys.stdin if path == "-" else open(path, "r", encoding="utf-8")
+    try:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            yield number, DiagnosisRequest.from_dict(json.loads(line))
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    registry = ArtifactRegistry(args.registry)
+    morph = registry.load(args.model, args.version)
+    resolved = registry.resolve(args.model, args.version)
+
+    window = MonitorWindow(max_cases=args.window, max_age_seconds=None)
+    thresholds = DriftThresholds(
+        warn=args.drift_threshold, critical=2.0 * args.drift_threshold
+    )
+    detector = DriftDetector(
+        morph.patterns, thresholds=thresholds, min_cases=args.min_cases
+    )
+    alerts = AlertManager(cooldown_seconds=0.0)
+
+    worst = LEVEL_OK
+    replayed = 0
+    for number, request in _iter_requests(args.trace):
+        inputs = np.asarray(request.inputs, dtype=np.float64)
+        trajectories, final_probs = morph.instrumented.layer_distributions(
+            inputs, batch_size=args.batch_size
+        )
+        predicted = np.argmax(final_probs, axis=1)
+        window.append_strict(trajectories, predicted)
+        replayed += inputs.shape[0]
+
+        report = detector.evaluate(window.snapshot())
+        aggregate = report.aggregate_ewma
+        if not report.insufficient and aggregate is not None:
+            alerts.update(
+                f"{args.model}:drift", report.level,
+                f"aggregate drift {aggregate:.3f}",
+            )
+        if level_severity(report.level) > level_severity(worst):
+            worst = report.level
+
+        if args.json_output:
+            print(json.dumps({"line": number, **report.as_dict()}))
+        else:
+            drifted = [
+                f"class {score.class_id}: {score.ewma:.2f} ({score.level})"
+                for score in report.per_class
+                if score.level != LEVEL_OK
+            ]
+            detail = "; ".join(drifted) if drifted else "all classes ok"
+            state = "warming up" if report.insufficient else report.level.upper()
+            shown = "  n/a " if aggregate is None else f"{aggregate:6.3f}"
+            print(f"[line {number:4d}] cases={report.window_cases:5d} "
+                  f"aggregate={shown} {state:10s} {detail}")
+
+    if not args.json_output:
+        print(f"replayed {replayed} case(s) against {args.model}@{resolved}; "
+              f"worst level: {worst}")
+        for alert in alerts.active():
+            print(f"  active alert {alert.name}: {alert.level} — {alert.message}")
+    return {"ok": 0, "warn": 1, "critical": 2}.get(worst, 2)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point."""
+    return run_main(_main, argv)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

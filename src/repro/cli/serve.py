@@ -84,6 +84,25 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: each artifact's own policy, float32 unless saved otherwise)",
     )
     parser.add_argument(
+        "--monitor", action="store_true",
+        help="enable online drift monitoring: sliding-window drift scores and "
+             "alert states on GET /metrics and GET /monitor",
+    )
+    parser.add_argument(
+        "--drift-threshold", type=float, default=2.0,
+        help="warn-level normalized-divergence threshold of the drift "
+             "detector (critical fires at twice this value)",
+    )
+    parser.add_argument(
+        "--monitor-window", type=int, default=2048,
+        help="served cases kept per model in the drift window",
+    )
+    parser.add_argument(
+        "--monitor-update-cases", type=int, default=0,
+        help="labeled cases buffered before an incremental partial_fit update "
+             "is applied and snapshotted to the registry (0 = observe-only)",
+    )
+    parser.add_argument(
         "--wire-codec", choices=("json", "binary"), default="json",
         help="default response encoding when a client sends no Accept header; "
              "per-request Content-Type/Accept negotiation always works, and "
@@ -174,6 +193,10 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         num_workers=args.workers,
         inference_dtype=args.inference_dtype,
         wire_codec=args.wire_codec,
+        monitor=args.monitor,
+        monitor_window=args.monitor_window,
+        drift_threshold=args.drift_threshold,
+        monitor_update_cases=args.monitor_update_cases,
     )
     service_kwargs = config.service_kwargs()
 

@@ -10,7 +10,7 @@ Faulty-case footprints are later judged against these patterns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -188,6 +188,131 @@ class _PatternIndex:
     dispersions: np.ndarray  # (K,)
 
 
+class _WelfordMoments:
+    """Chunk-merging Welford accumulator for one member population.
+
+    Tracks the running mean trajectory, mean final-softmax confidence in the
+    class, and mean normalized probe entropy over an incrementally observed
+    member set.  Each shard contributes one chunk; chunk-internal means use
+    numpy's pairwise summation and the cross-chunk merge is the standard
+    parallel mean update ``mean += delta * (m / n)``, which stays within a few
+    ULPs of a single ``np.mean`` over the concatenated members — comfortably
+    inside the 1e-12 shard-equivalence contract of
+    :meth:`PatternLibrary.partial_fit`.
+    """
+
+    __slots__ = ("count", "mean_trajectory", "mean_final", "mean_entropy")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean_trajectory: Optional[np.ndarray] = None
+        self.mean_final = 0.0
+        self.mean_entropy = 0.0
+
+    def seed(
+        self, count: int, mean_trajectory: np.ndarray, mean_final: float, mean_entropy: float
+    ) -> None:
+        """Bootstrap the moments from a previously fitted pattern's statistics."""
+        self.count = int(count)
+        self.mean_trajectory = np.asarray(mean_trajectory, dtype=np.float64).copy()
+        self.mean_final = float(mean_final)
+        self.mean_entropy = float(mean_entropy)
+
+    def update(
+        self, trajectories: np.ndarray, final_confidence: np.ndarray, entropies: np.ndarray
+    ) -> None:
+        """Merge one ``(m, L, C)`` chunk of members into the running moments."""
+        m = int(trajectories.shape[0])
+        if m == 0:
+            return
+        chunk_traj = trajectories.mean(axis=0, dtype=np.float64)
+        chunk_final = float(final_confidence.mean(dtype=np.float64))
+        chunk_entropy = float(entropies.mean(dtype=np.float64))
+        if self.count == 0:
+            self.count = m
+            self.mean_trajectory = chunk_traj
+            self.mean_final = chunk_final
+            self.mean_entropy = chunk_entropy
+            return
+        total = self.count + m
+        weight = m / total
+        self.mean_trajectory = self.mean_trajectory + (chunk_traj - self.mean_trajectory) * weight
+        self.mean_final += (chunk_final - self.mean_final) * weight
+        self.mean_entropy += (chunk_entropy - self.mean_entropy) * weight
+        self.count = total
+
+
+@dataclass
+class _ClassAccumulator:
+    """Per-class incremental state behind :meth:`PatternLibrary.partial_fit`.
+
+    Member trajectories are retained per shard (``fit`` keeps the selected
+    member stack on every pattern anyway — nearest-member analysis needs it),
+    alongside the per-member correctness mask so the correct-only selection
+    can flip retroactively: a class whose first correct member only arrives
+    in a later shard must drop its earlier incorrect members from the
+    pattern, exactly as a full refit would.
+    """
+
+    traj_chunks: List[np.ndarray] = field(default_factory=list)
+    final_conf_chunks: List[np.ndarray] = field(default_factory=list)
+    correct_chunks: List[np.ndarray] = field(default_factory=list)
+    all_moments: _WelfordMoments = field(default_factory=_WelfordMoments)
+    correct_moments: _WelfordMoments = field(default_factory=_WelfordMoments)
+
+    def add_chunk(
+        self,
+        trajectories: np.ndarray,
+        final_confidence: np.ndarray,
+        correct: np.ndarray,
+        entropies: np.ndarray,
+    ) -> None:
+        self.traj_chunks.append(trajectories)
+        self.final_conf_chunks.append(final_confidence)
+        self.correct_chunks.append(correct)
+        self.all_moments.update(trajectories, final_confidence, entropies)
+        if correct.any():
+            self.correct_moments.update(
+                trajectories[correct], final_confidence[correct], entropies[correct]
+            )
+
+    def member_stack(self, correct_only: bool) -> np.ndarray:
+        """The selected members, concatenated in arrival order.
+
+        Arrival order within a class equals the original dataset order of a
+        single concatenated ``fit`` (stable argsort grouping preserves it),
+        so dispersion and nearest-neighbour statistics recomputed from this
+        stack are bitwise what the full fit computes.
+        """
+        if correct_only:
+            chunks = [
+                chunk[mask]
+                for chunk, mask in zip(self.traj_chunks, self.correct_chunks)
+                if mask.any()
+            ]
+        else:
+            chunks = self.traj_chunks
+        if not chunks:
+            return np.empty((0, 0, 0), dtype=np.float64)
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks, axis=0)
+
+
+@dataclass
+class _IncrementalState:
+    """Whole-library accumulator threading shards through ``partial_fit``."""
+
+    classes: Dict[int, _ClassAccumulator] = field(default_factory=dict)
+    # Confusion counts for the training-inconsistency statistic: per labeled
+    # class, how many of its members the model mapped to each *other* class.
+    confusion: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    label_counts: Dict[int, int] = field(default_factory=dict)
+    # Inconsistency never drops below the value inherited from a previous
+    # full fit (whose confusion counts were not retained by the artifact).
+    inconsistency_floor: float = 0.0
+
+
 class PatternLibrary:
     """Per-class execution patterns learned from the training data.
 
@@ -217,6 +342,7 @@ class PatternLibrary:
         self.global_mean_dispersion: Optional[float] = None
         self._fitted = False
         self._batch_cache: Optional[tuple] = None
+        self._increment: Optional[_IncrementalState] = None
 
     @property
     def is_fitted(self) -> bool:
@@ -238,8 +364,10 @@ class PatternLibrary:
         predictions = final_probs.argmax(axis=1)
         self._training_inconsistency = self._compute_training_inconsistency(labels, predictions)
         # Refitting replaces the library wholesale — classes absent from the
-        # new data must not survive from a previous fit.
+        # new data must not survive from a previous fit, and neither must any
+        # incremental partial_fit state.
         self.patterns = {}
+        self._increment = None
 
         # One label -> member-indices grouping, computed once (stable argsort +
         # unique boundaries) and shared by the member and correct-only
@@ -304,6 +432,188 @@ class PatternLibrary:
         self._batch_cache = None
         self._fitted = True
         return self
+
+    # -- incremental fitting -----------------------------------------------------
+
+    def partial_fit(self, shard: Dataset) -> "PatternLibrary":
+        """Fold one shard of labeled data into the library incrementally.
+
+        Repeated calls over shards of a dataset produce the same library as
+        one :meth:`fit` over the concatenated data, to within 1e-12 on every
+        statistic (means are merged Welford-style; dispersion and
+        nearest-neighbour scales are recomputed from the retained member
+        stacks, so those are bitwise identical).  The only caveat is the
+        forward pass itself: under a float32 inference dtype, extraction is
+        deterministic per *batch composition*, so sharding the extraction can
+        move probe distributions at float32 resolution (~1e-8).  Callers that
+        need the strict 1e-12 contract across shard splits either run a
+        float64 inference dtype or extract once and feed
+        :meth:`partial_fit_arrays`.
+
+        An empty shard is a no-op.  Calling ``partial_fit`` on a library that
+        was fitted by :meth:`fit` (or loaded from an artifact) bootstraps the
+        accumulators from the retained member stacks; members that the
+        correct-only selection had discarded are gone, so strict shard
+        equivalence holds for libraries built entirely through
+        ``partial_fit``.
+        """
+        if len(shard) == 0:
+            return self
+        inputs, labels = shard.arrays()
+        extractor = FootprintExtractor(self.instrumented, batch_size=self.batch_size)
+        trajectories, final_probs = extractor.extract_arrays(inputs)
+        return self.partial_fit_arrays(trajectories, final_probs, labels)
+
+    def partial_fit_arrays(
+        self, trajectories: np.ndarray, final_probs: np.ndarray, labels: np.ndarray
+    ) -> "PatternLibrary":
+        """:meth:`partial_fit` for already-extracted ``(N, L, C)`` arrays.
+
+        The serving layer extracts footprints while answering requests;
+        feeding those arrays here avoids a second forward pass per shard.
+        """
+        trajectories = check_trajectory_stack(trajectories)
+        final_probs = np.asarray(final_probs, dtype=np.float64)
+        labels = np.asarray(labels).reshape(-1)
+        if trajectories.shape[0] != final_probs.shape[0] or labels.size != trajectories.shape[0]:
+            raise ShapeError(
+                f"shard arrays disagree: {trajectories.shape[0]} trajectories, "
+                f"{final_probs.shape[0]} final_probs, {labels.size} labels"
+            )
+        if labels.size == 0:
+            return self
+        state = self._incremental_state()
+        predictions = final_probs.argmax(axis=1)
+        correct_mask = predictions == labels
+        entropies = normalized_entropy(trajectories, axis=2)
+
+        # Confusion bookkeeping for training_inconsistency (all labels count,
+        # even out-of-range ones — matching fit's np.unique over raw labels).
+        for label_value, predicted_value in zip(labels.tolist(), predictions.tolist()):
+            state.label_counts[label_value] = state.label_counts.get(label_value, 0) + 1
+            if predicted_value != label_value:
+                row = state.confusion.setdefault(label_value, {})
+                row[predicted_value] = row.get(predicted_value, 0) + 1
+
+        order = np.argsort(labels, kind="stable")
+        class_values, group_starts = np.unique(labels[order], return_index=True)
+        group_ends = np.append(group_starts[1:], order.size)
+        for class_value, start, end in zip(class_values, group_starts, group_ends):
+            class_id = int(class_value)
+            if not 0 <= class_id < self.num_classes:
+                continue
+            member_idx = order[start:end]
+            accumulator = state.classes.setdefault(class_id, _ClassAccumulator())
+            accumulator.add_chunk(
+                trajectories[member_idx],
+                final_probs[member_idx, class_id],
+                correct_mask[member_idx],
+                entropies[member_idx],
+            )
+        self._finalize_incremental(state)
+        return self
+
+    def _incremental_state(self) -> _IncrementalState:
+        """The live accumulator, bootstrapped from existing patterns if needed."""
+        if self._increment is not None:
+            return self._increment
+        state = _IncrementalState()
+        if self._fitted:
+            # Continue from a fit()-built or deserialized library: the
+            # retained member stacks become the first "shard".  fit stored
+            # only the selected members (correct ones, when any existed), so
+            # they are treated as correct here; the confusion counts behind
+            # training_inconsistency were not retained, so the fitted value
+            # becomes a floor the incremental statistic cannot drop below.
+            state.inconsistency_floor = float(getattr(self, "_training_inconsistency", 0.0))
+            for class_id, pattern in self.patterns.items():
+                members = pattern.member_trajectories
+                if members is None or members.shape[0] == 0:
+                    members = pattern.mean_trajectory[None, :, :]
+                members = np.asarray(members, dtype=np.float64)
+                accumulator = _ClassAccumulator()
+                accumulator.traj_chunks.append(members)
+                accumulator.final_conf_chunks.append(
+                    np.full(members.shape[0], pattern.mean_final_confidence, dtype=np.float64)
+                )
+                accumulator.correct_chunks.append(np.ones(members.shape[0], dtype=bool))
+                for moments in (accumulator.all_moments, accumulator.correct_moments):
+                    moments.seed(
+                        pattern.support,
+                        pattern.mean_trajectory,
+                        pattern.mean_final_confidence,
+                        pattern.mean_entropy,
+                    )
+                state.classes[class_id] = accumulator
+                state.label_counts[class_id] = (
+                    state.label_counts.get(class_id, 0) + pattern.support
+                )
+        self._increment = state
+        return state
+
+    def _finalize_incremental(self, state: _IncrementalState) -> None:
+        """Rebuild every pattern from the accumulated state (fit-equivalent math)."""
+        patterns: Dict[int, ClassExecutionPattern] = {}
+        entropies: List[float] = []
+        dispersions: List[float] = []
+        for class_id in sorted(state.classes):
+            accumulator = state.classes[class_id]
+            use_correct = self.correct_only and accumulator.correct_moments.count > 0
+            moments = accumulator.correct_moments if use_correct else accumulator.all_moments
+            if moments.count == 0 or moments.mean_trajectory is None:
+                continue
+            member_traj = accumulator.member_stack(use_correct)
+            mean_trajectory = moments.mean_trajectory.copy()
+            divergences = trajectory_divergence_to_stack(
+                mean_trajectory, member_traj, late_layer_emphasis=self.late_layer_emphasis
+            )
+            dispersion = float(divergences.mean()) if divergences.size else 0.0
+            if member_traj.shape[0] > 1:
+                pairwise = pairwise_trajectory_divergences(
+                    member_traj, late_layer_emphasis=self.nn_layer_emphasis
+                )
+                np.fill_diagonal(pairwise, np.inf)
+                member_nn_scale = float(np.median(pairwise.min(axis=1)))
+            else:
+                member_nn_scale = dispersion
+            patterns[class_id] = ClassExecutionPattern(
+                class_id=class_id,
+                mean_trajectory=mean_trajectory,
+                mean_confidence=mean_trajectory[:, class_id].copy(),
+                dispersion=dispersion,
+                mean_final_confidence=float(moments.mean_final),
+                mean_entropy=float(moments.mean_entropy),
+                support=int(moments.count),
+                member_trajectories=member_traj,
+                member_nn_scale=member_nn_scale,
+            )
+            entropies.append(float(moments.mean_entropy))
+            dispersions.append(dispersion)
+        if not patterns:
+            # Nothing in range yet (e.g. only out-of-range labels so far):
+            # keep the accumulated state but leave the library unfitted.
+            return
+        self.patterns = patterns
+        self.global_mean_entropy = float(np.mean(entropies))
+        self.global_mean_dispersion = float(np.mean(dispersions))
+        self._training_inconsistency = max(
+            state.inconsistency_floor, self._incremental_inconsistency(state)
+        )
+        self._batch_cache = None
+        self._fitted = True
+
+    @staticmethod
+    def _incremental_inconsistency(state: _IncrementalState) -> float:
+        """``_compute_training_inconsistency`` over the accumulated confusion counts."""
+        total = sum(state.label_counts.values())
+        if total == 0 or not state.label_counts:
+            return 0.0
+        expected_class_size = total / len(state.label_counts)
+        worst = 0.0
+        for row in state.confusion.values():
+            if row:
+                worst = max(worst, max(row.values()) / expected_class_size)
+        return float(min(worst, 1.0))
 
     # -- queries ------------------------------------------------------------------
 

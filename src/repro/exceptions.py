@@ -37,6 +37,7 @@ __all__ = [
     "UnsupportedMediaTypeError",
     "DeadlineExceededError",
     "CircuitOpenError",
+    "MonitorOverflowError",
     "exception_from_wire",
 ]
 
@@ -168,6 +169,22 @@ class CircuitOpenError(ServeError):
         self.retry_after = float(retry_after)
 
 
+class MonitorOverflowError(ServeError):
+    """The monitoring window could not keep every observation it was offered.
+
+    The online serving path *never* raises this — there, an overfull or
+    contended window silently drops the observation and bumps a counter (the
+    same non-blocking discipline :mod:`repro.obs` uses).  Strict callers (the
+    offline ``repro-monitor`` trace replay, tests) opt into the exception via
+    ``MonitorWindow.append_strict`` so silent data loss cannot corrupt an
+    analysis.  Carries ``dropped``, the number of observations lost.
+    """
+
+    def __init__(self, message: str, dropped: int = 0):
+        super().__init__(message)
+        self.dropped = int(dropped)
+
+
 #: HTTP status -> exception class used when a response carries no (or an
 #: unknown) ``error_type``.  Covers every error status the front ends emit
 #: for exception-derived failures.
@@ -177,6 +194,7 @@ _STATUS_FALLBACK: Dict[int, Type[ReproError]] = {
     408: RemoteTransportError,
     413: PayloadTooLargeError,
     415: UnsupportedMediaTypeError,
+    429: MonitorOverflowError,
     503: ServiceSaturatedError,
     504: DeadlineExceededError,
 }

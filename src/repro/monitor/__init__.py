@@ -1,0 +1,62 @@
+"""repro.monitor — online drift monitoring for live diagnosis traffic.
+
+The paper's workflow is offline: fit a pattern library, diagnose a static
+dataset.  This subsystem is the continuous-operation layer on top — the
+auxiliary-monitoring instrument running alongside the measurement core:
+
+* :mod:`repro.monitor.window` — bounded sliding window of served trajectory
+  stacks (ring storage, count- and time-based expiry, never blocks the
+  serving path).
+* :mod:`repro.monitor.drift` — JS-divergence drift scoring of each window
+  against the fitted pattern library's class means (batched kernels, EWMA
+  baselines, hysteresis thresholds).
+* :mod:`repro.monitor.update` — incremental ``partial_fit`` pattern updates
+  from labeled traffic, snapshotted as immutable registry versions so
+  rollback is a one-line resolve.
+* :mod:`repro.monitor.alerts` — ok/warn/critical alert states with event
+  cooldowns.
+* :mod:`repro.monitor.sink` — the :class:`MonitorSink` the serving layer
+  taps from its batching drain and ``diagnose`` path.
+
+Like :mod:`repro.obs` and :mod:`repro.resilience`, this package imports
+nothing from :mod:`repro.serve` — the serving layer injects its registries
+and pattern libraries through duck-typed seams, keeping the dependency graph
+cycle-free.
+"""
+
+from __future__ import annotations
+
+from .alerts import (
+    LEVEL_CRITICAL,
+    LEVEL_OK,
+    LEVEL_WARN,
+    LEVELS,
+    Alert,
+    AlertManager,
+    level_severity,
+)
+from .drift import ClassDriftScore, DriftDetector, DriftReport, DriftThresholds
+from .sink import MetricsLike, MonitorSink
+from .update import PatternUpdater, RegistryLike, UpdateResult
+from .window import MonitorWindow, WindowSnapshot
+
+__all__ = [
+    "MonitorWindow",
+    "WindowSnapshot",
+    "DriftThresholds",
+    "DriftDetector",
+    "DriftReport",
+    "ClassDriftScore",
+    "PatternUpdater",
+    "UpdateResult",
+    "RegistryLike",
+    "AlertManager",
+    "Alert",
+    "LEVELS",
+    "LEVEL_OK",
+    "LEVEL_WARN",
+    "LEVEL_CRITICAL",
+    "level_severity",
+    "MonitorSink",
+    "MetricsLike",
+]

@@ -1,0 +1,152 @@
+"""ok / warn / critical alert states with event cooldowns.
+
+The alert manager is the monitor's notification edge: drift evaluations (and
+anything else that wants a managed state) report a level per named alert, and
+the manager tracks transitions.  *State* always reflects the latest report —
+an operator reading ``/monitor`` sees the truth — but *events* (the things
+that would page someone) are rate-limited: an alert that flaps between ok and
+warn fires at most one event per ``cooldown_seconds``, with suppressed
+escalations counted instead of dropped silently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "LEVEL_OK",
+    "LEVEL_WARN",
+    "LEVEL_CRITICAL",
+    "LEVELS",
+    "level_severity",
+    "Alert",
+    "AlertManager",
+]
+
+LEVEL_OK = "ok"
+LEVEL_WARN = "warn"
+LEVEL_CRITICAL = "critical"
+LEVELS = (LEVEL_OK, LEVEL_WARN, LEVEL_CRITICAL)
+
+_SEVERITY = {LEVEL_OK: 0, LEVEL_WARN: 1, LEVEL_CRITICAL: 2}
+
+
+def level_severity(level: str) -> int:
+    """Numeric rank of a level (ok=0, warn=1, critical=2) for gauges/compares."""
+    return _SEVERITY[level]
+
+
+@dataclass
+class Alert:
+    """Mutable state of one named alert."""
+
+    name: str
+    level: str = LEVEL_OK
+    message: str = ""
+    since: float = 0.0  # when the current level was entered
+    last_change: float = 0.0
+    last_event: Optional[float] = None  # last *fired* escalation
+    events_total: int = 0
+    suppressed_total: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "level": self.level,
+            "message": self.message,
+            "since": self.since,
+            "last_change": self.last_change,
+            "events_total": self.events_total,
+            "suppressed_total": self.suppressed_total,
+        }
+
+
+@dataclass
+class _ManagedAlert:
+    alert: Alert
+    history: List[str] = field(default_factory=list)
+
+
+class AlertManager:
+    """Track named alert levels; fire cooldown-limited events on escalation.
+
+    An *escalation* is any transition to a strictly higher severity (ok→warn,
+    warn→critical, ok→critical).  Escalations within ``cooldown_seconds`` of
+    the previous fired event are suppressed (counted, state still updated).
+    De-escalations update state immediately and never fire events.
+    """
+
+    def __init__(
+        self,
+        cooldown_seconds: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_event: Optional[Callable[[Alert], None]] = None,
+    ) -> None:
+        if cooldown_seconds < 0:
+            raise ValueError(f"cooldown_seconds must be >= 0, got {cooldown_seconds}")
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._clock = clock
+        self._on_event = on_event
+        self._lock = threading.Lock()
+        self._alerts: Dict[str, _ManagedAlert] = {}
+
+    def update(self, name: str, level: str, message: str = "") -> Alert:
+        """Report the current level of ``name``; returns the managed alert."""
+        if level not in _SEVERITY:
+            raise ValueError(f"unknown alert level {level!r}; expected one of {LEVELS}")
+        fire: Optional[Alert] = None
+        with self._lock:
+            now = self._clock()
+            managed = self._alerts.get(name)
+            if managed is None:
+                managed = _ManagedAlert(Alert(name=name, since=now, last_change=now))
+                self._alerts[name] = managed
+            alert = managed.alert
+            alert.message = message
+            if level != alert.level:
+                escalated = _SEVERITY[level] > _SEVERITY[alert.level]
+                alert.level = level
+                alert.since = now
+                alert.last_change = now
+                managed.history.append(level)
+                if escalated:
+                    if (
+                        alert.last_event is None
+                        or now - alert.last_event >= self.cooldown_seconds
+                    ):
+                        alert.events_total += 1
+                        alert.last_event = now
+                        fire = alert
+                    else:
+                        alert.suppressed_total += 1
+        if fire is not None and self._on_event is not None:
+            self._on_event(fire)
+        return alert
+
+    def get(self, name: str) -> Optional[Alert]:
+        with self._lock:
+            managed = self._alerts.get(name)
+            return managed.alert if managed else None
+
+    def active(self) -> List[Alert]:
+        """Alerts currently above ok, most severe first."""
+        with self._lock:
+            alerts = [m.alert for m in self._alerts.values() if m.alert.level != LEVEL_OK]
+        return sorted(alerts, key=lambda a: -_SEVERITY[a.level])
+
+    def worst_level(self) -> str:
+        """The most severe current level across all alerts (ok when none)."""
+        with self._lock:
+            worst = LEVEL_OK
+            for managed in self._alerts.values():
+                if _SEVERITY[managed.alert.level] > _SEVERITY[worst]:
+                    worst = managed.alert.level
+            return worst
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All alert states keyed by name (for ``/monitor`` payloads)."""
+        with self._lock:
+            return {name: m.alert.as_dict() for name, m in self._alerts.items()}

@@ -1,0 +1,249 @@
+"""JS-divergence drift detection against a fitted pattern library.
+
+Each evaluation scores a window of served trajectories against the library's
+class means using the batched PR-3 kernel
+(:meth:`~repro.core.patterns.PatternLibrary.batch_pattern_matches`): every
+case's JS divergence to the mean of its *predicted* class, normalized by that
+class's training dispersion.  A score of ~1 means live cases sit about as far
+from the class mean as the training members themselves did; healthy traffic
+scores near or below 1, drifted traffic climbs well above it.
+
+Raw scores are smoothed with per-class EWMA baselines, and levels come from
+hysteresis thresholds: escalation is immediate when the EWMA crosses a
+threshold, clearing requires dropping a ``hysteresis`` fraction *below* it —
+so a score hovering at the threshold cannot flap the alert.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.patterns import PatternLibrary
+from ..obs import span as obs_span
+from .alerts import LEVEL_CRITICAL, LEVEL_OK, LEVEL_WARN, level_severity
+from .window import WindowSnapshot
+
+__all__ = ["DriftThresholds", "ClassDriftScore", "DriftReport", "DriftDetector"]
+
+
+@dataclass(frozen=True)
+class DriftThresholds:
+    """Warn/critical thresholds on the normalized drift score, with hysteresis."""
+
+    warn: float = 2.0
+    critical: float = 4.0
+    hysteresis: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.warn <= 0:
+            raise ValueError(f"warn threshold must be positive, got {self.warn}")
+        if self.critical < self.warn:
+            raise ValueError(
+                f"critical threshold ({self.critical}) must be >= warn ({self.warn})"
+            )
+        if not 0 <= self.hysteresis < 1:
+            raise ValueError(f"hysteresis must be in [0, 1), got {self.hysteresis}")
+
+    def resolve(self, score: float, previous: str = LEVEL_OK) -> str:
+        """Level for ``score`` given the ``previous`` level (hysteresis applied)."""
+        if score >= self.critical:
+            return LEVEL_CRITICAL
+        if previous == LEVEL_CRITICAL and score >= self.critical * (1 - self.hysteresis):
+            return LEVEL_CRITICAL
+        if score >= self.warn:
+            return LEVEL_WARN
+        if previous != LEVEL_OK and score >= self.warn * (1 - self.hysteresis):
+            return LEVEL_WARN
+        return LEVEL_OK
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"warn": self.warn, "critical": self.critical, "hysteresis": self.hysteresis}
+
+
+@dataclass(frozen=True)
+class ClassDriftScore:
+    """Drift of one predicted class inside the evaluated window."""
+
+    class_id: int
+    cases: int
+    raw: float
+    ewma: float
+    level: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "class_id": self.class_id,
+            "cases": self.cases,
+            "raw": round(self.raw, 6),
+            "ewma": round(self.ewma, 6),
+            "level": self.level,
+        }
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """One drift evaluation over a window snapshot."""
+
+    window_cases: int
+    scored_cases: int
+    unmatched_cases: int  # predicted classes with no library pattern
+    per_class: Tuple[ClassDriftScore, ...]
+    aggregate_raw: Optional[float]
+    aggregate_ewma: Optional[float]
+    level: str
+    thresholds: DriftThresholds
+    insufficient: bool = False  # too few cases to score; levels carried over
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "window_cases": self.window_cases,
+            "scored_cases": self.scored_cases,
+            "unmatched_cases": self.unmatched_cases,
+            "per_class": [score.as_dict() for score in self.per_class],
+            "aggregate_raw": None if self.aggregate_raw is None else round(self.aggregate_raw, 6),
+            "aggregate_ewma": None
+            if self.aggregate_ewma is None
+            else round(self.aggregate_ewma, 6),
+            "level": self.level,
+            "thresholds": self.thresholds.as_dict(),
+            "insufficient": self.insufficient,
+        }
+
+
+class DriftDetector:
+    """Stateful drift scorer for one model's served traffic.
+
+    Parameters
+    ----------
+    library:
+        The fitted :class:`PatternLibrary` live traffic is judged against.
+    thresholds:
+        Warn/critical levels on the EWMA-smoothed normalized score.
+    ewma_alpha:
+        Smoothing weight of the newest evaluation (1.0 disables smoothing).
+    min_cases:
+        Snapshots with fewer cases are not scored (levels carry over) — a
+        couple of early requests must not page anyone.
+    """
+
+    def __init__(
+        self,
+        library: PatternLibrary,
+        thresholds: Optional[DriftThresholds] = None,
+        ewma_alpha: float = 0.3,
+        min_cases: int = 8,
+        eps: float = 1e-9,
+    ) -> None:
+        if not 0 < ewma_alpha <= 1:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        if min_cases < 1:
+            raise ValueError(f"min_cases must be >= 1, got {min_cases}")
+        self.library = library
+        self.thresholds = thresholds or DriftThresholds()
+        self.ewma_alpha = float(ewma_alpha)
+        self.min_cases = int(min_cases)
+        self.eps = float(eps)
+        self._lock = threading.Lock()
+        self._class_ewma: Dict[int, float] = {}
+        self._class_level: Dict[int, str] = {}
+        self._aggregate_ewma: Optional[float] = None
+        self._level = LEVEL_OK
+
+    @property
+    def level(self) -> str:
+        return self._level
+
+    def reset(self) -> None:
+        """Forget all EWMA baselines and levels."""
+        with self._lock:
+            self._class_ewma.clear()
+            self._class_level.clear()
+            self._aggregate_ewma = None
+            self._level = LEVEL_OK
+
+    def _smooth(self, previous: Optional[float], raw: float) -> float:
+        if previous is None:
+            return raw
+        return self.ewma_alpha * raw + (1 - self.ewma_alpha) * previous
+
+    def evaluate(self, snapshot: WindowSnapshot) -> DriftReport:
+        """Score one window snapshot and advance the EWMA/level state."""
+        with obs_span("monitor.drift", {"cases": snapshot.cases}):
+            return self._evaluate(snapshot)
+
+    def _evaluate(self, snapshot: WindowSnapshot) -> DriftReport:
+        with self._lock:
+            if snapshot.cases < self.min_cases:
+                return self._carry_over_locked(snapshot)
+            matches = self.library.batch_pattern_matches(snapshot.stack)
+            lookup = matches.column_lookup()
+            class_ids = snapshot.class_ids
+            in_range = (class_ids >= 0) & (class_ids < lookup.shape[0])
+            columns = np.where(in_range, lookup[np.clip(class_ids, 0, lookup.shape[0] - 1)], -1)
+            valid = columns >= 0
+            scored = int(np.count_nonzero(valid))
+            if scored == 0:
+                return self._carry_over_locked(snapshot, unmatched=snapshot.cases)
+            rows = np.nonzero(valid)[0]
+            own_divergence = matches.divergences[rows, columns[rows]]
+            scale = matches.dispersions[columns[rows]] + self.eps
+            scores = own_divergence / scale
+
+            per_class = []
+            for class_value in np.unique(class_ids[rows]):
+                class_id = int(class_value)
+                class_scores = scores[class_ids[rows] == class_value]
+                raw = float(class_scores.mean())
+                ewma = self._smooth(self._class_ewma.get(class_id), raw)
+                previous = self._class_level.get(class_id, LEVEL_OK)
+                level = self.thresholds.resolve(ewma, previous)
+                self._class_ewma[class_id] = ewma
+                self._class_level[class_id] = level
+                per_class.append(
+                    ClassDriftScore(
+                        class_id=class_id,
+                        cases=int(class_scores.shape[0]),
+                        raw=raw,
+                        ewma=ewma,
+                        level=level,
+                    )
+                )
+
+            aggregate_raw = float(scores.mean())
+            aggregate_ewma = self._smooth(self._aggregate_ewma, aggregate_raw)
+            self._aggregate_ewma = aggregate_ewma
+            # The reported level is the worst of the aggregate and any single
+            # class — drift concentrated in one class must not be averaged
+            # away by healthy traffic elsewhere.
+            level = self.thresholds.resolve(aggregate_ewma, self._level)
+            for score in per_class:
+                if level_severity(score.level) > level_severity(level):
+                    level = score.level
+            self._level = level
+            return DriftReport(
+                window_cases=snapshot.cases,
+                scored_cases=scored,
+                unmatched_cases=snapshot.cases - scored,
+                per_class=tuple(per_class),
+                aggregate_raw=aggregate_raw,
+                aggregate_ewma=aggregate_ewma,
+                level=level,
+                thresholds=self.thresholds,
+            )
+
+    def _carry_over_locked(self, snapshot: WindowSnapshot, unmatched: int = 0) -> DriftReport:
+        return DriftReport(
+            window_cases=snapshot.cases,
+            scored_cases=0,
+            unmatched_cases=unmatched,
+            per_class=(),
+            aggregate_raw=None,
+            aggregate_ewma=self._aggregate_ewma,
+            level=self._level,
+            thresholds=self.thresholds,
+            insufficient=snapshot.cases < self.min_cases,
+        )

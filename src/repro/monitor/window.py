@@ -1,0 +1,241 @@
+"""Bounded sliding window of served trajectory stacks.
+
+The window is the monitor's only contact with the serving hot path, so it
+follows the same discipline as :mod:`repro.obs`: appends never block and
+never raise.  Storage is a preallocated ring — count-based expiry happens by
+overwriting the oldest rows, time-based expiry by masking rows older than
+``max_age_seconds`` out of every snapshot.  When an append cannot be taken
+(lock contention with a concurrent snapshot, a closed window, rows whose
+shape disagrees with the ring) the rows are dropped and counted; strict
+callers — the offline ``repro-monitor`` trace replay, tests — use
+:meth:`MonitorWindow.append_strict` to turn those drops into a typed
+:class:`~repro.exceptions.MonitorOverflowError` instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from ..exceptions import MonitorOverflowError
+
+__all__ = ["MonitorWindow", "WindowSnapshot"]
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """Point-in-time copy of the window contents, oldest row first.
+
+    Attributes
+    ----------
+    stack:
+        ``(N, L, C)`` float64 trajectories currently inside the window.
+    class_ids:
+        ``(N,)`` predicted class of each trajectory.
+    timestamps:
+        ``(N,)`` monotonic observation times.
+    appended_total:
+        Rows ever accepted into the window (including since-expired ones).
+    dropped_total:
+        Rows the window refused (contention, closed, shape mismatch).
+    """
+
+    stack: np.ndarray
+    class_ids: np.ndarray
+    timestamps: np.ndarray
+    appended_total: int
+    dropped_total: int
+
+    @property
+    def cases(self) -> int:
+        return int(self.class_ids.shape[0])
+
+
+class MonitorWindow:
+    """Ring-buffered sliding window over served trajectory stacks.
+
+    Parameters
+    ----------
+    max_cases:
+        Ring capacity; once full, new rows overwrite the oldest ones
+        (count-based expiry).
+    max_age_seconds:
+        Rows older than this are excluded from snapshots and evicted on the
+        next append (time-based expiry); ``None`` disables the age bound.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        max_cases: int = 2048,
+        max_age_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_cases < 1:
+            raise ValueError(f"max_cases must be >= 1, got {max_cases}")
+        if max_age_seconds is not None and max_age_seconds <= 0:
+            raise ValueError(f"max_age_seconds must be positive, got {max_age_seconds}")
+        self.max_cases = int(max_cases)
+        self.max_age_seconds = None if max_age_seconds is None else float(max_age_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._stack: Optional[np.ndarray] = None  # (max_cases, L, C), lazily shaped
+        self._classes: Optional[np.ndarray] = None
+        self._times: Optional[np.ndarray] = None
+        self._next = 0  # ring write cursor
+        self._count = 0  # live rows
+        self._appended_total = 0
+        self._dropped_total = 0
+        self._closed = False
+
+    # -- hot path -----------------------------------------------------------------
+
+    def append(
+        self,
+        trajectories: np.ndarray,
+        class_ids: np.ndarray,
+        timestamp: Optional[float] = None,
+    ) -> int:
+        """Offer a ``(m, L, C)`` stack to the window; returns rows accepted.
+
+        Never blocks and never raises: if the lock is held by a concurrent
+        snapshot, the window is closed, or the rows do not match the ring's
+        shape, the rows are dropped and counted instead.
+        """
+        trajectories = np.asarray(trajectories)
+        class_ids = np.asarray(class_ids).reshape(-1)
+        rows = int(trajectories.shape[0]) if trajectories.ndim == 3 else -1
+        if rows < 0 or class_ids.shape[0] != rows:
+            self._dropped_total += max(rows, class_ids.shape[0], 1)
+            return 0
+        if rows == 0:
+            return 0
+        if not self._lock.acquire(blocking=False):
+            self._dropped_total += rows
+            return 0
+        try:
+            return self._append_locked(trajectories, class_ids, timestamp)
+        finally:
+            self._lock.release()
+
+    def append_strict(
+        self,
+        trajectories: np.ndarray,
+        class_ids: np.ndarray,
+        timestamp: Optional[float] = None,
+    ) -> int:
+        """Append that raises :class:`MonitorOverflowError` on any drop.
+
+        Used by offline replay and tests, where silently losing observations
+        would corrupt the analysis; the serving path uses :meth:`append`.
+        """
+        before = self._dropped_total
+        accepted = self.append(trajectories, class_ids, timestamp)
+        dropped = self._dropped_total - before
+        if dropped:
+            raise MonitorOverflowError(
+                f"monitor window dropped {dropped} observation(s)", dropped=dropped
+            )
+        return accepted
+
+    def _append_locked(
+        self, trajectories: np.ndarray, class_ids: np.ndarray, timestamp: Optional[float]
+    ) -> int:
+        if self._closed:
+            self._dropped_total += trajectories.shape[0]
+            return 0
+        if self._stack is None:
+            shape = (self.max_cases,) + trajectories.shape[1:]
+            self._stack = np.empty(shape, dtype=np.float64)
+            self._classes = np.empty(self.max_cases, dtype=np.int64)
+            self._times = np.empty(self.max_cases, dtype=np.float64)
+        elif trajectories.shape[1:] != self._stack.shape[1:]:
+            self._dropped_total += trajectories.shape[0]
+            return 0
+        now = self._clock() if timestamp is None else float(timestamp)
+        self._expire_locked(now)
+        rows = int(trajectories.shape[0])
+        if rows > self.max_cases:
+            # Only the newest max_cases rows can survive anyway.
+            trajectories = trajectories[-self.max_cases:]
+            class_ids = class_ids[-self.max_cases:]
+            rows = self.max_cases
+        positions = (self._next + np.arange(rows)) % self.max_cases
+        self._stack[positions] = trajectories
+        self._classes[positions] = class_ids
+        self._times[positions] = now
+        self._next = int((self._next + rows) % self.max_cases)
+        self._count = min(self._count + rows, self.max_cases)
+        self._appended_total += rows
+        return rows
+
+    # -- read side ----------------------------------------------------------------
+
+    def _ordered_indices_locked(self) -> np.ndarray:
+        start = (self._next - self._count) % self.max_cases
+        return (start + np.arange(self._count)) % self.max_cases
+
+    def _expire_locked(self, now: float) -> None:
+        if self.max_age_seconds is None or self._count == 0:
+            return
+        indices = self._ordered_indices_locked()
+        fresh = self._times[indices] > now - self.max_age_seconds
+        # Rows are time-ordered, so expiry only ever trims the oldest prefix.
+        self._count = int(np.count_nonzero(fresh))
+
+    def snapshot(self) -> WindowSnapshot:
+        """Copy of the current (non-expired) contents, oldest first."""
+        with self._lock:
+            self._expire_locked(self._clock())
+            if self._stack is None or self._count == 0:
+                empty_stack = np.empty((0, 0, 0), dtype=np.float64)
+                return WindowSnapshot(
+                    stack=empty_stack,
+                    class_ids=np.empty(0, dtype=np.int64),
+                    timestamps=np.empty(0, dtype=np.float64),
+                    appended_total=self._appended_total,
+                    dropped_total=self._dropped_total,
+                )
+            indices = self._ordered_indices_locked()
+            return WindowSnapshot(
+                stack=self._stack[indices].copy(),
+                class_ids=self._classes[indices].copy(),
+                timestamps=self._times[indices].copy(),
+                appended_total=self._appended_total,
+                dropped_total=self._dropped_total,
+            )
+
+    def stats(self) -> Dict[str, Union[int, float, None]]:
+        """Cheap counters for metrics/payloads (no array copies)."""
+        with self._lock:
+            self._expire_locked(self._clock())
+            return {
+                "cases": int(self._count),
+                "max_cases": self.max_cases,
+                "max_age_seconds": self.max_age_seconds,
+                "appended_total": int(self._appended_total),
+                "dropped_total": int(self._dropped_total),
+            }
+
+    @property
+    def dropped_total(self) -> int:
+        return int(self._dropped_total)
+
+    def clear(self) -> None:
+        """Discard the contents (counters survive)."""
+        with self._lock:
+            self._count = 0
+            self._next = 0
+
+    def close(self) -> None:
+        """Refuse all further appends (they drop and count)."""
+        with self._lock:
+            self._closed = True
+
+    def __len__(self) -> int:
+        return int(self._count)

@@ -93,6 +93,12 @@ class BatchingEngine:
         Optional :class:`~repro.serve.metrics.MetricsRegistry`; when given,
         the engine records request/batch counters, coalesced batch sizes,
         extraction latency, and its queue depth there.
+    monitor:
+        Optional :class:`~repro.monitor.MonitorSink` (duck-typed: anything
+        with ``observe_extracted``).  Every freshly extracted stack is fed to
+        it from the drain — cache hits are not re-fed, so repeated payloads
+        cannot swamp the drift window.  The sink's contract is to never raise
+        and never block.
     """
 
     def __init__(
@@ -102,6 +108,7 @@ class BatchingEngine:
         max_batch_cases: int = 512,
         max_wait_seconds: float = 0.005,
         metrics: Optional[MetricsRegistry] = None,
+        monitor=None,
     ):
         if max_batch_cases < 1:
             raise ServeError(f"max_batch_cases must be >= 1, got {max_batch_cases}")
@@ -109,6 +116,7 @@ class BatchingEngine:
             raise ServeError(f"max_wait_seconds must be >= 0, got {max_wait_seconds}")
         self.extract_fn = extract_fn
         self.cache = cache
+        self.monitor = monitor
         self.max_batch_cases = int(max_batch_cases)
         self.max_wait_seconds = float(max_wait_seconds)
         self._queue: "queue.Queue" = queue.Queue()
@@ -382,6 +390,8 @@ class BatchingEngine:
         if missing_rows:
             stacked = np.stack(missing_rows, axis=0)
             (trajectories, final_probs), = self._timed_extract(model_key, [stacked])
+            if self.monitor is not None:
+                self.monitor.observe_extracted(model_key, trajectories, final_probs)
             stored: set = set()
             for r, i, row_index in missing_at:
                 pair = (trajectories[row_index], final_probs[row_index])
@@ -435,6 +445,8 @@ class BatchingEngine:
                 model_key, [request.inputs for request in pending]
             )
             for request, pair in zip(pending, results):
+                if self.monitor is not None:
+                    self.monitor.observe_extracted(model_key, pair[0], pair[1])
                 if not request.future.done():
                     request.future.set_result(pair)
         with self._stats_lock:

@@ -95,6 +95,7 @@ _REASONS = {
     408: "Request Timeout",
     413: "Payload Too Large",
     415: "Unsupported Media Type",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
@@ -584,6 +585,16 @@ class DiagnosisGateway:
                     ("Content-Type", "text/plain; version=0.0.4; charset=utf-8"),
                 )
             return 200, self._metrics_payload(), ()
+        if path == "/monitor":
+            refresh = any(
+                piece in ("refresh=1", "refresh=true") for piece in query.split("&")
+            )
+            # Refresh evaluates drift windows (a batched kernel per model) —
+            # executor work, never loop work.
+            snapshot = await self._run_blocking(
+                lambda: self.pool.monitor_snapshot(refresh=refresh)
+            )
+            return 200, snapshot, ()
         if path == "/jobs":
             return 200, {"jobs": self.pool.list_jobs()}, ()
         if path.startswith("/jobs/"):

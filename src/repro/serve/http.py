@@ -11,6 +11,9 @@ Endpoints
     Engine/cache/job counters.
 ``GET /metrics``
     The service's metrics registry (counters/gauges/histograms) as JSON.
+``GET /monitor``
+    Drift/alert snapshot of the online monitor (``?refresh=1`` re-evaluates
+    the drift windows before reporting).
 ``POST /diagnose``
     Synchronous diagnosis.  Body: ``{"model": str, "inputs": [[...], ...],
     "labels": [...], "version"?: str, "metadata"?: {}}``.  Returns the
@@ -263,6 +266,11 @@ class _Handler(BaseHTTPRequestHandler):
                     )
                 else:
                     self._send_json({"service": self.service.metrics.as_dict()})
+            elif path == "/monitor":
+                refresh = any(
+                    piece in ("refresh=1", "refresh=true") for piece in query.split("&")
+                )
+                self._send_json(self.service.monitor_payload(refresh=refresh))
             elif path == "/jobs":
                 self._send_json({"jobs": [job.as_dict() for job in self.service.jobs.list()]})
             elif path.startswith("/jobs/"):

@@ -28,6 +28,7 @@ from ..api.schema import DiagnosisRequest
 from ..exceptions import (
     ArtifactNotFoundError,
     DeadlineExceededError,
+    MonitorOverflowError,
     PayloadTooLargeError,
     ReproError,
     ServeError,
@@ -159,6 +160,8 @@ def error_status(error: BaseException) -> int:
         return 413
     if isinstance(error, UnsupportedMediaTypeError):
         return 415
+    if isinstance(error, MonitorOverflowError):
+        return 429
     if isinstance(error, DeadlineExceededError):
         return 504
     if isinstance(error, (ServeError, ReproError, ValueError)):

@@ -20,6 +20,7 @@ remain inspectable without the library.  Versions are monotonically numbered
 from __future__ import annotations
 
 import json
+import os
 import re
 import shutil
 import threading
@@ -103,17 +104,24 @@ class ArtifactRegistry:
         ``version=None`` allocates the next ``v<n>``; an explicit version must
         be fresh (re-registering an existing version is an error — artifacts
         are immutable once written).
+
+        Safe under concurrent writers — in-process (the monitor's background
+        ``partial_fit`` snapshots race user calls) and cross-process (a CLI
+        registering against a live service).  The version directory's
+        ``mkdir`` is the atomic claim: a collision on an auto-allocated
+        version rescans and retries with the next number, a collision on an
+        explicit version is the immutability error.  The manifest is the
+        commit marker — written last, via an atomic rename, and required by
+        the version listing — so readers never resolve a half-written
+        version.  Sequence-file updates are atomic renames too, so a
+        concurrent reader never sees a torn write.
         """
         _validate_name(name)
         with self._lock:
-            if version is None:
-                version = f"v{self._next_version_number(name)}"
-            elif not _VERSION_RE.match(version):
+            if version is not None and not _VERSION_RE.match(version):
                 raise ServeError(f"invalid version {version!r}; use 'v<number>'")
-            version_dir = self.root / name / version
-            if version_dir.exists():
-                raise ServeError(f"artifact {name}@{version} already exists; versions are immutable")
-            version_dir.mkdir(parents=True)
+            version_dir = self._claim_version_dir(name, version)
+            version = version_dir.name
             try:
                 save_deepmorph(morph, version_dir / _ARTIFACT_FILE)
                 manifest = {
@@ -124,13 +132,47 @@ class ArtifactRegistry:
                     "num_classes": morph.model.num_classes,
                     "metadata": dict(metadata or {}),
                 }
-                with open(version_dir / _MANIFEST_FILE, "w", encoding="utf-8") as handle:
+                # The manifest write is the publish point: temp + os.replace
+                # makes the version appear to readers all-or-nothing, after
+                # its artifact bytes are already on disk.
+                manifest_path = version_dir / _MANIFEST_FILE
+                tmp_path = manifest_path.with_name(
+                    f"{_MANIFEST_FILE}.{os.getpid()}.{threading.get_ident()}.tmp"
+                )
+                with open(tmp_path, "w", encoding="utf-8") as handle:
                     json.dump(manifest, handle, indent=2, sort_keys=True)
+                os.replace(tmp_path, manifest_path)
                 self._bump_sequence(name, self._version_number(version))
             except Exception:
                 shutil.rmtree(version_dir, ignore_errors=True)
                 raise
         return self.record(name, version)
+
+    def _claim_version_dir(self, name: str, version: Optional[str]) -> Path:
+        """Atomically claim (create) the directory of the version to register.
+
+        ``mkdir`` without ``exist_ok`` is the one filesystem operation that
+        both creates and detects a concurrent claim atomically; auto
+        allocation retries with a fresh scan on collision, explicit versions
+        surface the immutability error.
+        """
+        if version is not None:
+            version_dir = self.root / name / version
+            try:
+                version_dir.mkdir(parents=True)
+            except FileExistsError:
+                raise ServeError(
+                    f"artifact {name}@{version} already exists; versions are immutable"
+                ) from None
+            return version_dir
+        for _ in range(1000):
+            candidate = self.root / name / f"v{self._next_version_number(name)}"
+            try:
+                candidate.mkdir(parents=True)
+            except FileExistsError:
+                continue  # another writer claimed this number; rescan
+            return candidate
+        raise ServeError(f"could not allocate a fresh version for {name!r}")
 
     def _sequence_path(self, name: str) -> Path:
         return self.root / name / _SEQUENCE_FILE
@@ -142,10 +184,20 @@ class ArtifactRegistry:
         loaded models and footprints under ``name@version`` keys, so reusing
         a number would silently serve a stale artifact.  A per-model sequence
         file keeps the high-water mark across deletes.
+
+        The scan counts every claimed ``v<n>`` directory — including ones a
+        concurrent writer has created but not yet written an artifact into —
+        so an allocation retry after an mkdir collision always moves past the
+        contested number.
         """
-        highest = max(
-            (self._version_number(v) for v in self._versions_on_disk(name)), default=0
+        model_dir = self.root / name
+        claimed = (
+            (entry.name for entry in model_dir.iterdir()
+             if entry.is_dir() and _VERSION_RE.match(entry.name))
+            if model_dir.is_dir()
+            else ()
         )
+        highest = max((self._version_number(v) for v in claimed), default=0)
         sequence_path = self._sequence_path(name)
         if sequence_path.exists():
             try:
@@ -155,6 +207,16 @@ class ArtifactRegistry:
         return highest + 1
 
     def _bump_sequence(self, name: str, number: int) -> None:
+        """Raise the high-water mark to ``number`` with an atomic rename.
+
+        The new value is written to a temp file and ``os.replace``d over the
+        sequence file, so a concurrent reader sees either the old or the new
+        content, never a torn write.  Concurrent bumps may race the
+        read-compare, but the mark only ever needs to reach the highest
+        *registered* number and every registration bumps with its own — the
+        on-disk version scan in :meth:`_next_version_number` covers any
+        transiently lower mark.
+        """
         sequence_path = self._sequence_path(name)
         current = 0
         if sequence_path.exists():
@@ -163,7 +225,11 @@ class ArtifactRegistry:
             except ValueError:
                 pass
         if number > current:
-            sequence_path.write_text(str(number))
+            tmp_path = sequence_path.with_name(
+                f"{_SEQUENCE_FILE}.{os.getpid()}.{threading.get_ident()}.tmp"
+            )
+            tmp_path.write_text(str(number))
+            os.replace(tmp_path, sequence_path)
 
     def delete(self, name: str, version: Optional[str] = None) -> None:
         """Delete one version, or the whole model when ``version`` is ``None``."""
@@ -196,7 +262,10 @@ class ArtifactRegistry:
             entry.name
             for entry in model_dir.iterdir()
             if entry.is_dir() and _VERSION_RE.match(entry.name)
-            and (entry / _ARTIFACT_FILE).exists()
+            # The manifest is register()'s last, atomic write: requiring it
+            # hides versions that are claimed (or mid-write) but not yet
+            # committed, so a concurrent reader never loads a torn artifact.
+            and (entry / _MANIFEST_FILE).exists()
         ]
 
     @staticmethod

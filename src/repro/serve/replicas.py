@@ -385,6 +385,32 @@ class ReplicaPool:
         job = best.service.submit_diagnosis(name, inputs, labels, **kwargs)
         return best.index, job
 
+    def monitor_snapshot(self, refresh: bool = False) -> Dict:
+        """Aggregate ``GET /monitor`` payload across the replicas.
+
+        Each replica carries its own monitor sink (windows and drift state
+        are per-replica, like the metrics registries); the pool view keys
+        them by replica index and reports the worst alert level across the
+        fleet so a single drifting replica is never averaged away.
+        """
+        replicas = {}
+        worst = "ok"
+        severity = {"ok": 0, "warn": 1, "critical": 2}
+        enabled = False
+        for replica in self._replicas:
+            payload = replica.service.monitor_payload(refresh=refresh)
+            replicas[str(replica.index)] = payload
+            enabled = enabled or bool(payload.get("enabled"))
+            level = str(payload.get("level", "ok"))
+            if severity.get(level, 0) > severity[worst]:
+                worst = level
+        return {
+            "enabled": enabled,
+            "level": worst,
+            "level_severity": severity[worst],
+            "replicas": replicas,
+        }
+
     def find_job(self, job_id: str) -> Tuple[int, object]:
         """Locate a job by id across every replica's store."""
         for replica in self._replicas:

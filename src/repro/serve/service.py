@@ -41,6 +41,7 @@ from ..core.diagnosis import DeepMorph
 from ..core.footprint import FootprintExtractor
 from ..core.specifics import compute_specifics_batch
 from ..exceptions import NoFaultyCasesError, ServeError
+from ..monitor import DriftThresholds, MonitorSink, PatternUpdater
 from ..nn.dtype import resolve_dtype
 from ..obs import span as obs_span
 from ..resilience import check_deadline, get_injector, remaining_budget
@@ -99,6 +100,22 @@ class DiagnosisService:
         default the service creates its own.  The registry is threaded through
         the batching engine, footprint cache, and worker pool, and exposed at
         ``GET /metrics`` by the HTTP front ends.
+    monitor:
+        When ``True``, a :class:`~repro.monitor.MonitorSink` watches the
+        served traffic: freshly extracted cases feed a per-model drift window
+        from the batching drain, every labeled request feeds the
+        misclassification counters, and drift gauges / alert states appear on
+        ``GET /metrics`` and ``GET /monitor``.
+    monitor_window / monitor_max_age_seconds:
+        Sliding-window bounds of the drift window (cases / seconds).
+    drift_threshold:
+        Warn threshold on the EWMA-smoothed normalized drift score; the
+        critical threshold is twice it.
+    monitor_update_cases:
+        When > 0, labeled traffic is buffered per model and every time the
+        buffer reaches this many cases a ``PatternLibrary.partial_fit``
+        update is applied on a worker thread and snapshotted into the
+        registry as a new artifact version (0 disables updates).
     """
 
     def __init__(
@@ -113,6 +130,11 @@ class DiagnosisService:
         request_timeout: float = 120.0,
         inference_dtype: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
+        monitor: bool = False,
+        monitor_window: int = 2048,
+        monitor_max_age_seconds: Optional[float] = 600.0,
+        drift_threshold: float = 2.0,
+        monitor_update_cases: int = 0,
     ):
         if max_loaded_models < 1:
             raise ServeError(f"max_loaded_models must be >= 1, got {max_loaded_models}")
@@ -139,12 +161,30 @@ class DiagnosisService:
         self.cache = (
             FootprintCache(cache_size, metrics=self.metrics) if cache_size > 0 else None
         )
+        self.monitor: Optional[MonitorSink] = None
+        if monitor:
+            updater_factory = (
+                self._monitor_updater if monitor_update_cases > 0 else None
+            )
+            self._monitor_update_cases = int(monitor_update_cases)
+            self.monitor = MonitorSink(
+                library_resolver=lambda key: self._entry(key).morph.patterns,
+                window_cases=monitor_window,
+                window_max_age_seconds=monitor_max_age_seconds,
+                thresholds=DriftThresholds(
+                    warn=float(drift_threshold), critical=2.0 * float(drift_threshold)
+                ),
+                updater_factory=updater_factory,
+                update_runner=self._run_monitor_update,
+                metrics=self.metrics,
+            )
         self.engine = BatchingEngine(
             extract_fn=self._extract_raw,
             cache=self.cache,
             max_batch_cases=max_batch_cases,
             max_wait_seconds=batch_wait_seconds,
             metrics=self.metrics,
+            monitor=self.monitor,
         ).start()
         self.jobs = JobStore()
         self.pool = WorkerPool(num_workers=num_workers, store=self.jobs, metrics=self.metrics)
@@ -231,6 +271,46 @@ class DiagnosisService:
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
         return self._entry(model_key).extractor.extract_coalesced(input_groups)
 
+    # -- monitoring ----------------------------------------------------------------
+
+    def _monitor_updater(self, model_key: str) -> PatternUpdater:
+        """A pattern updater for one served model (its own fresh artifact copy).
+
+        The updater never mutates the library the service answers requests
+        with — it loads its own instance and publishes updates only by
+        registering new immutable versions, which "latest" requests pick up
+        on their next resolve.  Rolling back after a bad update is therefore
+        a one-line ``registry.resolve``/pinned-version request away.
+        """
+        name, _, version = model_key.partition("@")
+        morph = self.registry.load(name, version or None)
+        if self.inference_dtype is not None:
+            morph.instrumented.inference_dtype = self.inference_dtype
+        return PatternUpdater(
+            morph,
+            name,
+            registry=self.registry,
+            min_cases=self._monitor_update_cases,
+        )
+
+    def _run_monitor_update(self, fn) -> None:
+        """Run a pattern update on the worker pool (visible under ``/jobs``)."""
+        try:
+            self.pool.submit(
+                lambda: fn() or {"kind": "monitor_update"}, kind="monitor_update"
+            )
+        except ServeError:
+            # Pool shut down mid-flight: drop the update, never the request.
+            pass
+
+    def monitor_payload(self, refresh: bool = False) -> Dict:
+        """The ``GET /monitor`` document (drift, windows, alerts, updates)."""
+        if self.monitor is None:
+            return MonitorSink.disabled_payload()
+        if refresh:
+            self.monitor.refresh()
+        return self.monitor.payload()
+
     # -- diagnosis ----------------------------------------------------------------
 
     #: Shared with every repro.api backend (and thus the wire protocol), so
@@ -304,6 +384,11 @@ class DiagnosisService:
                 # typed 504, not a generic engine timeout.
                 check_deadline("extraction wait")
                 raise
+        if self.monitor is not None:
+            # Labeled tap: misclassification counters + partial_fit buffers.
+            # (The drift window is fed by the engine drain with freshly
+            # extracted rows only, so cache hits are not double counted.)
+            self.monitor.observe_labeled(key, trajectories, final_probs, labels)
         with obs_span("service.footprints") as fp_span:
             footprints = entry.extractor.from_arrays(trajectories, final_probs, labels)
             faulty = [fp for fp in footprints if fp.is_misclassified]
@@ -383,6 +468,7 @@ class DiagnosisService:
             "inference_dtype": (
                 self.inference_dtype.name if self.inference_dtype is not None else "per-model"
             ),
+            "monitor": self.monitor is not None,
         }
 
     # -- lifecycle ----------------------------------------------------------------

@@ -1,0 +1,237 @@
+"""Property-based tests: ``partial_fit`` over shards == one ``fit`` (1e-12).
+
+The incremental-update contract of PR 10: folding a dataset into a
+:class:`~repro.core.patterns.PatternLibrary` shard by shard — any shard
+boundaries, any shard count, empty shards included — produces the same
+library as one ``fit`` over the concatenated data, to within 1e-12 on every
+statistic.
+
+The comparison runs at the arrays level (``partial_fit_arrays``), where the
+pin holds for **both** inference-dtype policies: probe trajectories are
+float64 at the extraction API boundary regardless of the backbone's compute
+dtype, so sharding the *statistics* is exact.  Sharding the *extraction* is
+only exact under a float64 policy (float32 forward passes are deterministic
+per batch composition, not per row — see the ``partial_fit`` docstring); the
+dataset-level test therefore pins a float64-policy library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.footprint import FootprintExtractor
+from repro.core.instrument import SoftmaxInstrumentedModel
+from repro.core.patterns import PatternLibrary
+
+TOLERANCE = 1e-12
+
+#: Each example refits a library several times; keep the run bounded.
+EXAMPLE_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------- fixtures
+
+
+@pytest.fixture(scope="module")
+def float32_setup(fitted_deepmorph, tiny_splits):
+    """(instrumented, trajectories, final_probs, labels) — float32 policy."""
+    train, _ = tiny_splits
+    instrumented = fitted_deepmorph.instrumented
+    inputs, labels = train.arrays()
+    extractor = FootprintExtractor(instrumented)
+    trajectories, final_probs = extractor.extract_arrays(inputs)
+    return instrumented, trajectories, final_probs, np.asarray(labels)
+
+
+@pytest.fixture(scope="module")
+def float64_setup(trained_tiny_model, tiny_splits):
+    """Same arrays under an explicit float64 inference policy."""
+    train, _ = tiny_splits
+    instrumented = SoftmaxInstrumentedModel(
+        trained_tiny_model, probe_epochs=2, inference_dtype="float64", rng=7
+    ).fit(train)
+    inputs, labels = train.arrays()
+    extractor = FootprintExtractor(instrumented)
+    trajectories, final_probs = extractor.extract_arrays(inputs)
+    return instrumented, trajectories, final_probs, np.asarray(labels)
+
+
+# ---------------------------------------------------------------- helpers
+
+
+def _sharded_library(instrumented, trajectories, final_probs, labels, boundaries):
+    """A fresh library built through ``partial_fit_arrays`` over the shards."""
+    library = PatternLibrary(instrumented)
+    for chunk_traj, chunk_final, chunk_labels in zip(
+        np.split(trajectories, boundaries),
+        np.split(final_probs, boundaries),
+        np.split(labels, boundaries),
+    ):
+        library.partial_fit_arrays(chunk_traj, chunk_final, chunk_labels)
+    return library
+
+
+def _one_shot_library(instrumented, trajectories, final_probs, labels):
+    library = PatternLibrary(instrumented)
+    library.partial_fit_arrays(trajectories, final_probs, labels)
+    return library
+
+
+def assert_libraries_match(actual: PatternLibrary, expected: PatternLibrary) -> None:
+    """Every fitted statistic agrees to TOLERANCE (supports exactly)."""
+    assert actual.is_fitted and expected.is_fitted
+    assert sorted(actual.patterns) == sorted(expected.patterns)
+    for class_id, reference in expected.patterns.items():
+        pattern = actual.patterns[class_id]
+        assert pattern.support == reference.support
+        np.testing.assert_allclose(
+            pattern.mean_trajectory, reference.mean_trajectory, rtol=0, atol=TOLERANCE
+        )
+        np.testing.assert_allclose(
+            pattern.mean_confidence, reference.mean_confidence, rtol=0, atol=TOLERANCE
+        )
+        assert pattern.dispersion == pytest.approx(reference.dispersion, abs=TOLERANCE)
+        assert pattern.mean_final_confidence == pytest.approx(
+            reference.mean_final_confidence, abs=TOLERANCE
+        )
+        assert pattern.mean_entropy == pytest.approx(
+            reference.mean_entropy, abs=TOLERANCE
+        )
+        assert pattern.member_nn_scale == pytest.approx(
+            reference.member_nn_scale, abs=TOLERANCE
+        )
+    assert actual.global_mean_entropy == pytest.approx(
+        expected.global_mean_entropy, abs=TOLERANCE
+    )
+    assert actual.global_mean_dispersion == pytest.approx(
+        expected.global_mean_dispersion, abs=TOLERANCE
+    )
+    assert actual._training_inconsistency == pytest.approx(
+        expected._training_inconsistency, abs=TOLERANCE
+    )
+
+
+def assert_batch_kernels_match(
+    actual: PatternLibrary, expected: PatternLibrary, stack: np.ndarray
+) -> None:
+    """The PR-3 batched kernel sees the same library (drift scoring parity)."""
+    ours, reference = actual.batch_pattern_matches(stack), expected.batch_pattern_matches(stack)
+    assert ours.class_ids.tolist() == reference.class_ids.tolist()
+    np.testing.assert_allclose(
+        ours.similarities, reference.similarities, rtol=0, atol=TOLERANCE
+    )
+    np.testing.assert_allclose(
+        ours.divergences, reference.divergences, rtol=0, atol=TOLERANCE
+    )
+    np.testing.assert_allclose(
+        ours.dispersions, reference.dispersions, rtol=0, atol=TOLERANCE
+    )
+
+
+def boundaries_strategy(n: int):
+    """Arbitrary shard boundaries over ``n`` rows — empty shards included."""
+    return st.lists(st.integers(min_value=0, max_value=n), min_size=0, max_size=6).map(sorted)
+
+
+# ---------------------------------------------------------------- properties
+
+
+class TestShardEquivalenceFloat32Policy:
+    @EXAMPLE_SETTINGS
+    @given(data=st.data())
+    def test_arbitrary_shard_splits_match_one_shot(self, float32_setup, data):
+        instrumented, trajectories, final_probs, labels = float32_setup
+        boundaries = data.draw(boundaries_strategy(labels.shape[0]))
+        expected = _one_shot_library(instrumented, trajectories, final_probs, labels)
+        actual = _sharded_library(
+            instrumented, trajectories, final_probs, labels, boundaries
+        )
+        assert_libraries_match(actual, expected)
+        assert_batch_kernels_match(actual, expected, trajectories[:8])
+
+    def test_one_shot_arrays_match_full_fit(self, float32_setup, tiny_splits):
+        """partial_fit_arrays over fit's own extraction == fit itself."""
+        train, _ = tiny_splits
+        instrumented, trajectories, final_probs, labels = float32_setup
+        expected = PatternLibrary(instrumented).fit(train)
+        actual = _one_shot_library(instrumented, trajectories, final_probs, labels)
+        assert_libraries_match(actual, expected)
+
+
+class TestShardEquivalenceFloat64Policy:
+    @EXAMPLE_SETTINGS
+    @given(data=st.data())
+    def test_arbitrary_shard_splits_match_one_shot(self, float64_setup, data):
+        instrumented, trajectories, final_probs, labels = float64_setup
+        boundaries = data.draw(boundaries_strategy(labels.shape[0]))
+        expected = _one_shot_library(instrumented, trajectories, final_probs, labels)
+        actual = _sharded_library(
+            instrumented, trajectories, final_probs, labels, boundaries
+        )
+        assert_libraries_match(actual, expected)
+
+    def test_dataset_level_partial_fit_matches_fit(self, float64_setup, tiny_splits):
+        """Under float64 inference, even sharding the *extraction* is exact."""
+        train, _ = tiny_splits
+        instrumented, _, _, _ = float64_setup
+        expected = PatternLibrary(instrumented).fit(train)
+        actual = PatternLibrary(instrumented)
+        third = len(train) // 3
+        import numpy as _np
+        for shard in (train.select(_np.arange(0, third)),
+                      train.select(_np.arange(third, third)),       # empty shard
+                      train.select(_np.arange(third, 2 * third)),
+                      train.select(_np.arange(2 * third, len(train)))):
+            actual.partial_fit(shard)
+        assert_libraries_match(actual, expected)
+
+
+class TestEdgeCases:
+    def test_single_class_shards(self, float32_setup):
+        instrumented, trajectories, final_probs, labels = float32_setup
+        mask = labels == labels[0]
+        trajectories, final_probs, labels = (
+            trajectories[mask], final_probs[mask], labels[mask]
+        )
+        expected = _one_shot_library(instrumented, trajectories, final_probs, labels)
+        actual = _sharded_library(
+            instrumented, trajectories, final_probs, labels,
+            [labels.shape[0] // 3, labels.shape[0] // 2],
+        )
+        assert sorted(actual.patterns) == [int(labels[0])]
+        assert_libraries_match(actual, expected)
+
+    def test_empty_shard_is_a_noop(self, float32_setup):
+        instrumented, trajectories, final_probs, labels = float32_setup
+        library = _one_shot_library(instrumented, trajectories, final_probs, labels)
+        before = {cid: p.support for cid, p in library.patterns.items()}
+        library.partial_fit_arrays(
+            trajectories[:0], final_probs[:0], labels[:0]
+        )
+        assert {cid: p.support for cid, p in library.patterns.items()} == before
+
+    def test_out_of_range_labels_are_skipped_but_counted(self, float32_setup):
+        instrumented, trajectories, final_probs, labels = float32_setup
+        bad_labels = np.full_like(labels[:4], 99)
+        library = _one_shot_library(instrumented, trajectories, final_probs, labels)
+        library.partial_fit_arrays(trajectories[:4], final_probs[:4], bad_labels)
+        assert 99 not in library.patterns
+
+    def test_partial_fit_after_fit_extends_supports(self, float64_setup, tiny_splits):
+        """Bootstrap path: a fit()-built library keeps absorbing shards."""
+        train, test = tiny_splits
+        instrumented, _, _, _ = float64_setup
+        library = PatternLibrary(instrumented).fit(train)
+        supports = {cid: p.support for cid, p in library.patterns.items()}
+        library.partial_fit(test)
+        assert library.is_fitted
+        assert all(
+            library.patterns[cid].support >= support
+            for cid, support in supports.items()
+        )
